@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The benchmarks below regenerate every experiment of the reproduction
+// (DESIGN.md §4, EXPERIMENTS.md) at Small scale so `go test -bench=.`
+// terminates quickly; `cmd/learnhpc -scale=full <exp>` runs the documented
+// reproduction scale. Each bench reports the experiment's headline number
+// as a custom metric.
+
+func BenchmarkE1EffectiveSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E1EffectiveSpeedup(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.LimitInfinite, "max-speedup")
+	}
+}
+
+func BenchmarkE2NanoSurrogate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E2NanoSurrogate(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SpeedupFactor, "lookup-speedup")
+		b.ReportMetric(r.R2[2], "peak-R2")
+	}
+}
+
+func BenchmarkE3Autotune(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E3Autotune(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.DtEfficiency, "dt-efficiency")
+	}
+}
+
+func BenchmarkE4DEFSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E4DEFSI(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// County RMSE ratio baseline/DEFSI (>1 means DEFSI wins).
+		b.ReportMetric(r.County[1]/r.County[0], "county-win-ratio")
+	}
+}
+
+func BenchmarkE5NNPotential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E5NNPotential(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SpeedupFactor, "oracle/nn-speedup")
+	}
+}
+
+func BenchmarkE6ActiveLearning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E6ActiveLearning(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ALSamples > 0 && r.RandomSamples > 0 {
+			b.ReportMetric(float64(r.ALSamples)/float64(r.RandomSamples), "al-sample-frac")
+		}
+	}
+}
+
+func BenchmarkE7DropoutUQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E7DropoutUQ(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Coverage[1], "coverage-p0.1")
+	}
+}
+
+func BenchmarkE8SolventSurrogate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E8SolventSurrogate(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup, "kernel-speedup")
+		b.ReportMetric(r.DensityL1Error, "profile-err")
+	}
+}
+
+func BenchmarkE9TissueShortCircuit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E9TissueShortCircuit(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup, "transport-speedup")
+		b.ReportMetric(r.RelativeL2Err, "rel-l2-err")
+	}
+}
+
+func BenchmarkE10ParallelModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E10ParallelModels(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Allreduce (index 2) final loss at P=8.
+		b.ReportMetric(r.FinalLoss[2][3], "allreduce-p8-loss")
+	}
+}
+
+func BenchmarkE10Scheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E10Scheduler(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Imbalance ratio static/dynamic (>1 means dynamic balances better).
+		if r.Imbalance[1] > 0 {
+			b.ReportMetric(r.Imbalance[0]/r.Imbalance[1], "static/dynamic-imbalance")
+		}
+	}
+}

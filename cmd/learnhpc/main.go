@@ -1,0 +1,130 @@
+// Command learnhpc regenerates the reproduction's experiment tables
+// (E1–E10, see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	learnhpc [-scale=small|full] all
+//	learnhpc [-scale=small|full] e1 e4 e10
+//
+// Small scale finishes in seconds per experiment; full scale is the
+// documented reproduction configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(experiments.Scale) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](f func(experiments.Scale) (T, error)) func(experiments.Scale) (fmt.Stringer, error) {
+	return func(s experiments.Scale) (fmt.Stringer, error) { return f(s) }
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
+	flag.Usage = usage
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.Small
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "learnhpc: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	runners := []runner{
+		{"e1", "effective speedup formula sweep (§III-D)", wrap(experiments.E1EffectiveSpeedup)},
+		{"e2", "nano-confinement density surrogate (§II-C1)", wrap(experiments.E2NanoSurrogate)},
+		{"e3", "MLautotuning of the MD timestep (§III-D)", wrap(experiments.E3Autotune)},
+		{"e4", "DEFSI vs EpiFast-like vs persistence (§II-A)", wrap(experiments.E4DEFSI)},
+		{"e5", "NN potential vs ab-initio stand-in (§II-C2)", wrap(experiments.E5NNPotential)},
+		{"e6", "active learning sample efficiency (§II-C2)", wrap(experiments.E6ActiveLearning)},
+		{"e7", "MC-dropout UQ calibration (§III-B)", wrap(experiments.E7DropoutUQ)},
+		{"e8", "solvent-kernel surrogate speedup (§II-C2)", wrap(experiments.E8SolventSurrogate)},
+		{"e10a", "four parallel computation models (§III-A)", wrap(experiments.E10ParallelModels)},
+		{"e10b", "heterogeneous task scheduling (§III-E)", wrap(experiments.E10Scheduler)},
+		{"e9", "tissue transport short-circuit (§II-B)", wrap(experiments.E9TissueShortCircuit)},
+	}
+	// Keep display order e1..e10.
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10a", "e10b"}
+	byName := map[string]runner{}
+	for _, r := range runners {
+		byName[r.name] = r
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var selected []string
+	if len(args) == 1 && args[0] == "all" {
+		selected = order
+	} else {
+		for _, a := range args {
+			name := strings.ToLower(a)
+			if name == "e10" {
+				selected = append(selected, "e10a", "e10b")
+				continue
+			}
+			if _, ok := byName[name]; !ok {
+				fmt.Fprintf(os.Stderr, "learnhpc: unknown experiment %q\n", a)
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	failures := 0
+	for _, name := range selected {
+		r := byName[name]
+		fmt.Printf("== %s: %s (scale=%s)\n", r.name, r.desc, *scaleFlag)
+		t0 := time.Now()
+		res, err := r.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "learnhpc: %s failed: %v\n", r.name, err)
+			failures++
+			continue
+		}
+		fmt.Print(res.String())
+		fmt.Printf("   [%.1fs]\n\n", time.Since(t0).Seconds())
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `learnhpc — Learning Everywhere reproduction experiment driver
+
+usage: learnhpc [-scale=small|full] all
+       learnhpc [-scale=small|full] e1 [e2 ...]
+
+experiments:
+  e1    effective speedup formula sweep (paper §III-D)
+  e2    nano-confinement density surrogate, D=5 (paper §II-C1, §III-D)
+  e3    MLautotuning of the MD timestep, D=6 (paper §III-D, ref [9])
+  e4    DEFSI two-branch forecasting vs baselines (paper §II-A)
+  e5    NN potential vs expensive reference oracle (paper §II-C2)
+  e6    active-learning sample efficiency (paper §II-C2)
+  e7    MC-dropout uncertainty calibration (paper §III-B)
+  e8    learned solvent-kernel speedup (paper §II-C2)
+  e9    tissue advection-diffusion short-circuit (paper §I, §II-B)
+  e10   parallel computation models + heterogeneous scheduling (§III-A, §III-E)
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,76 @@
+// Epidemicforecast: the DEFSI exemplar (paper §II-A) end to end — simulate
+// a synthetic state, train the two-branch network on simulation-generated
+// synthetic seasons, then forecast county-level incidence from coarse,
+// noisy, underreported state-level surveillance.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/epi"
+	"repro/internal/xrand"
+)
+
+func main() {
+	popCfg := epi.DefaultPopulationConfig()
+	popCfg.Counties = 5
+	popCfg.MeanCountyPop = 400
+	net, err := epi.GeneratePopulation(popCfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Synthetic state: %d people in %d counties (mean degree %.1f)\n",
+		len(net.People), net.Counties, net.MeanDegree())
+
+	const weeks = 12
+	base := epi.DefaultDiseaseParams()
+	cfg := epi.DefaultDEFSIConfig()
+	cfg.TrainSeasons = 20
+	cfg.Epochs = 60
+
+	fmt.Printf("Training DEFSI on %d simulated seasons...\n\n", cfg.TrainSeasons)
+	d, err := epi.TrainDEFSI(net, []epi.DiseaseParams{base}, weeks, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	// The "real" season to forecast (held out, slightly different beta).
+	truthParams := base
+	truthParams.Beta *= 1.15
+	truth, err := epi.Simulate(net, truthParams, weeks, 424242)
+	if err != nil {
+		panic(err)
+	}
+	rng := xrand.New(3)
+	sv := epi.Surveil(truth.WeeklyState, cfg.ReportRate, cfg.NoiseFrac, rng)
+
+	fmt.Println("Observed surveillance (state level, underreported+noisy) vs truth:")
+	for w := 0; w < weeks; w++ {
+		fmt.Printf("  week %2d: observed %6.1f   true state incidence %6.0f\n", w, sv[w], truth.WeeklyState[w])
+	}
+
+	fmt.Println("\nCounty-level forecasts from state-level surveillance:")
+	for _, t := range []int{cfg.Window, weeks / 2, weeks - 1} {
+		pred, err := d.ForecastCounty(sv, t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  week %d:\n", t)
+		for c := 0; c < net.Counties; c++ {
+			fmt.Printf("    county %d: forecast %6.1f   truth %6.0f\n", c, pred[c], truth.WeeklyCounty[t][c])
+		}
+	}
+
+	// Compare against the mechanistic baseline.
+	ef := epi.NewEpiFastLike(net, base, weeks, cfg.ReportRate, 9)
+	if err := ef.Calibrate(sv, cfg.Window); err != nil {
+		panic(err)
+	}
+	defsiEval, _ := epi.EvaluateForecasts(truth, cfg.Window,
+		func(t int) (float64, error) { return d.ForecastState(sv, t) },
+		func(t int) ([]float64, error) { return d.ForecastCounty(sv, t) }, "DEFSI")
+	efEval, _ := epi.EvaluateForecasts(truth, cfg.Window, ef.ForecastState, ef.ForecastCounty, "EpiFast-like")
+	fmt.Printf("\nRMSE over weeks %d..%d:\n", cfg.Window, weeks-1)
+	fmt.Printf("  %-14s state %7.2f   county %7.2f\n", defsiEval.Method, defsiEval.StateRMSE, defsiEval.CountyRMSE)
+	fmt.Printf("  %-14s state %7.2f   county %7.2f\n", efEval.Method, efEval.StateRMSE, efEval.CountyRMSE)
+}

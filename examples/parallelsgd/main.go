@@ -1,0 +1,74 @@
+// Parallelsgd: the four parallel model-synchronization patterns of paper
+// §III-A — Locking, Rotation, Allreduce, Asynchronous — racing on the same
+// regression problem, plus ring vs central collectives.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(23)
+	prob, _ := parallel.NewRandomSGDProblem(4000, 32, 0.01, rng)
+
+	fmt.Println("SGD under the four computation models (4000x32 regression):")
+	fmt.Printf("  %-14s %-10s %-12s %-12s\n", "model", "workers", "final loss", "seconds")
+	for _, model := range parallel.AllModels() {
+		for _, w := range []int{1, 4} {
+			tr, err := parallel.RunSGD(prob, model, parallel.SGDConfig{
+				Workers: w, Epochs: 150, LR: 0.1, Seed: 24,
+			})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %-14s %-10d %-12.4g %-12.4g\n",
+				model, w, tr.Final(), tr.Seconds[len(tr.Seconds)-1])
+		}
+	}
+
+	fmt.Println("\nAllreduce collectives head-to-head at 8 workers:")
+	for _, ring := range []bool{false, true} {
+		name := "central(lock)"
+		if ring {
+			name = "ring"
+		}
+		tr, err := parallel.RunSGD(prob, parallel.Allreduce, parallel.SGDConfig{
+			Workers: 8, Epochs: 150, LR: 0.1, UseRing: ring, Seed: 24,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-14s final loss %.4g in %.4gs\n", name, tr.Final(), tr.Seconds[len(tr.Seconds)-1])
+	}
+
+	fmt.Println("\nK-means (Allreduce pattern) and Ising Gibbs (MCMC pattern):")
+	pts, _ := parallel.GaussianBlobs(2000, 5, 4, 0.4, rng)
+	km, err := parallel.KMeans(pts, 5, 12, 4, true, 25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  k-means SSE: %.4g → %.4g over %d iterations\n",
+		km.SSEHistory[0], km.SSEHistory[len(km.SSEHistory)-1], km.Iterations)
+	mag, err := parallel.IsingRun(32, 0.7, 80, 4, false, 26)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  Ising |m| at beta=0.7 (ordered phase): %.3f (expect ~1)\n", mag)
+	mag, err = parallel.IsingRun(32, 0.2, 80, 4, false, 27)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  Ising |m| at beta=0.2 (disordered):    %.3f (expect ~0)\n", mag)
+
+	fmt.Println("\nCCD matrix factorization under model rotation:")
+	mf := parallel.NewRandomMFProblem(80, 60, 4, 0.3, 0.01, rng)
+	_, hist, err := parallel.RunCCD(mf, 4, 25, 0.05, 28)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  RMSE: %.4g → %.4g over %d epochs (4 workers, zero locks)\n",
+		hist[0], hist[len(hist)-1], len(hist))
+}

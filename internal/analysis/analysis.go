@@ -1,0 +1,194 @@
+// Package analysis implements MLafterHPC (paper §I): "ML analyzing
+// results of HPC as in trajectory analysis and structure identification in
+// biomolecular simulations". It featurizes MD trajectory frames, clusters
+// them into structural states with the parallel K-means kernel, and
+// extracts the state populations and transition statistics that
+// biomolecular workflows report.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/md"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// FrameFeaturizer converts one simulation snapshot into a fixed-length
+// feature vector.
+type FrameFeaturizer interface {
+	Dim() int
+	Featurize(s *md.System) []float64
+}
+
+// DensityFeaturizer fingerprints a frame by its normalized z-density
+// histogram of ions — a collective variable that distinguishes
+// wall-adsorbed from mid-channel structures.
+type DensityFeaturizer struct {
+	Bins int
+}
+
+// Dim implements FrameFeaturizer.
+func (d DensityFeaturizer) Dim() int { return d.Bins }
+
+// Featurize implements FrameFeaturizer.
+func (d DensityFeaturizer) Featurize(s *md.System) []float64 {
+	out := make([]float64, d.Bins)
+	h := s.P.H
+	ions := 0
+	for i := 0; i < s.N; i++ {
+		if s.Kind[i] == md.Solvent {
+			continue
+		}
+		z := s.Pos[3*i+2] + h/2
+		b := int(z / h * float64(d.Bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= d.Bins {
+			b = d.Bins - 1
+		}
+		out[b]++
+		ions++
+	}
+	if ions > 0 {
+		for i := range out {
+			out[i] /= float64(ions)
+		}
+	}
+	return out
+}
+
+// Trajectory is a time-ordered collection of featurized frames.
+type Trajectory struct {
+	Frames *tensor.Matrix
+}
+
+// Collect samples a trajectory from a live system: every stride steps, the
+// current frame is featurized and appended. It is the MLafterHPC data
+// pipeline ("trajectory analysis" happens after the HPC run, so Collect
+// can equally be fed from stored frames).
+func Collect(s *md.System, f FrameFeaturizer, frames, stride int) (*Trajectory, error) {
+	if frames < 1 || stride < 1 {
+		return nil, fmt.Errorf("analysis: invalid plan frames=%d stride=%d", frames, stride)
+	}
+	out := tensor.NewMatrix(frames, f.Dim())
+	for i := 0; i < frames; i++ {
+		s.Steps(stride)
+		copy(out.Row(i), f.Featurize(s))
+	}
+	return &Trajectory{Frames: out}, nil
+}
+
+// States is the result of structure identification.
+type States struct {
+	K           int
+	Labels      []int
+	Populations []float64
+	// Transitions[a][b] counts a→b transitions between consecutive frames.
+	Transitions [][]int
+	Centroids   *tensor.Matrix
+}
+
+// IdentifyStates clusters the trajectory into k structural states using
+// the parallel K-means kernel and derives populations and the transition
+// matrix.
+func IdentifyStates(tr *Trajectory, k, workers int, seed uint64) (*States, error) {
+	res, err := parallel.KMeans(tr.Frames, k, 25, workers, false, seed)
+	if err != nil {
+		return nil, err
+	}
+	st := &States{K: k, Centroids: res.Centroids}
+	st.Labels = make([]int, tr.Frames.Rows)
+	st.Populations = make([]float64, k)
+	st.Transitions = make([][]int, k)
+	for a := range st.Transitions {
+		st.Transitions[a] = make([]int, k)
+	}
+	for i := 0; i < tr.Frames.Rows; i++ {
+		st.Labels[i] = nearestCentroid(tr.Frames.Row(i), res.Centroids)
+		st.Populations[st.Labels[i]]++
+	}
+	for i := range st.Populations {
+		st.Populations[i] /= float64(tr.Frames.Rows)
+	}
+	for i := 1; i < len(st.Labels); i++ {
+		st.Transitions[st.Labels[i-1]][st.Labels[i]]++
+	}
+	return st, nil
+}
+
+func nearestCentroid(x []float64, centroids *tensor.Matrix) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < centroids.Rows; c++ {
+		d := 0.0
+		row := centroids.Row(c)
+		for j := range x {
+			diff := x[j] - row[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Silhouette returns the mean silhouette coefficient of the clustering in
+// [-1, 1]; higher means better-separated structural states. O(n²) — meant
+// for trajectory-scale (not dataset-scale) use.
+func Silhouette(tr *Trajectory, labels []int, k int) float64 {
+	n := tr.Frames.Rows
+	if n != len(labels) || n < 2 {
+		return math.NaN()
+	}
+	dist := func(a, b int) float64 {
+		ra, rb := tr.Frames.Row(a), tr.Frames.Row(b)
+		s := 0.0
+		for j := range ra {
+			d := ra[j] - rb[j]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	total, counted := 0.0, 0
+	for i := 0; i < n; i++ {
+		// Mean distance to own cluster (a) and nearest other cluster (b).
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[labels[j]] += dist(i, j)
+			counts[labels[j]]++
+		}
+		own := labels[i]
+		if counts[own] == 0 {
+			continue
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return math.NaN()
+	}
+	return total / float64(counted)
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/md"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+func testSystem(t testing.TB) *md.System {
+	t.Helper()
+	cfg := md.DefaultConfig()
+	cfg.L = 8
+	cfg.Seed = 5
+	s, err := md.NewSystem(md.Params{H: 6, Zp: 1, Zn: 1, C: 0.05, D: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDensityFeaturizerNormalized(t *testing.T) {
+	s := testSystem(t)
+	f := DensityFeaturizer{Bins: 12}
+	if f.Dim() != 12 {
+		t.Fatalf("dim %d", f.Dim())
+	}
+	feat := f.Featurize(s)
+	sum := 0.0
+	for _, v := range feat {
+		if v < 0 {
+			t.Fatal("negative histogram entry")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram sums to %g want 1", sum)
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	s := testSystem(t)
+	tr, err := Collect(s, DensityFeaturizer{Bins: 10}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Frames.Rows != 20 || tr.Frames.Cols != 10 {
+		t.Fatalf("trajectory shape %dx%d", tr.Frames.Rows, tr.Frames.Cols)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	s := testSystem(t)
+	if _, err := Collect(s, DensityFeaturizer{Bins: 4}, 0, 5); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	if _, err := Collect(s, DensityFeaturizer{Bins: 4}, 5, 0); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+}
+
+// syntheticTrajectory builds a two-state trajectory with a known switch
+// point, so structure identification has unambiguous ground truth.
+func syntheticTrajectory(n, dim int, rng *xrand.Rand) (*Trajectory, []int) {
+	frames := tensor.NewMatrix(n, dim)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		state := 0
+		if i >= n/2 {
+			state = 1
+		}
+		truth[i] = state
+		for j := 0; j < dim; j++ {
+			center := 0.0
+			if state == 1 {
+				center = 5
+			}
+			frames.Set(i, j, center+rng.Normal(0, 0.2))
+		}
+	}
+	return &Trajectory{Frames: frames}, truth
+}
+
+func TestIdentifyStatesTwoState(t *testing.T) {
+	rng := xrand.New(7)
+	tr, truth := syntheticTrajectory(60, 4, rng)
+	st, err := IdentifyStates(tr, 2, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populations ~50/50.
+	if math.Abs(st.Populations[0]-0.5) > 0.1 {
+		t.Fatalf("populations %v, want ~[0.5 0.5]", st.Populations)
+	}
+	// Exactly one transition between the two states in either direction.
+	cross := st.Transitions[0][1] + st.Transitions[1][0]
+	if cross != 1 {
+		t.Fatalf("%d cross-state transitions, want 1", cross)
+	}
+	// Labels must be consistent with the truth up to permutation.
+	agree := 0
+	for i := range truth {
+		if st.Labels[i] == truth[i] {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(len(truth))
+	if frac > 0.1 && frac < 0.9 {
+		t.Fatalf("label agreement %g: clustering failed", frac)
+	}
+}
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	rng := xrand.New(8)
+	tr, truth := syntheticTrajectory(40, 3, rng)
+	s := Silhouette(tr, truth, 2)
+	if s < 0.8 {
+		t.Fatalf("silhouette %g for well-separated states, want ~1", s)
+	}
+	// Random labels must score much worse.
+	randLabels := make([]int, 40)
+	for i := range randLabels {
+		randLabels[i] = rng.Intn(2)
+	}
+	if r := Silhouette(tr, randLabels, 2); r >= s {
+		t.Fatalf("random labels silhouette %g >= truth %g", r, s)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	tr := &Trajectory{Frames: tensor.NewMatrix(1, 2)}
+	if !math.IsNaN(Silhouette(tr, []int{0}, 1)) {
+		t.Fatal("single-frame silhouette should be NaN")
+	}
+}
+
+func TestEndToEndTrajectoryAnalysis(t *testing.T) {
+	// Full MLafterHPC pipeline on a real MD trajectory: collect, cluster,
+	// report. Assertions are structural (this is an integration test).
+	s := testSystem(t)
+	s.Steps(100)
+	tr, err := Collect(s, DensityFeaturizer{Bins: 8}, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := IdentifyStates(tr, 3, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popSum := 0.0
+	for _, p := range st.Populations {
+		popSum += p
+	}
+	if math.Abs(popSum-1) > 1e-9 {
+		t.Fatalf("populations sum to %g", popSum)
+	}
+	trans := 0
+	for a := range st.Transitions {
+		for b := range st.Transitions[a] {
+			trans += st.Transitions[a][b]
+		}
+	}
+	if trans != tr.Frames.Rows-1 {
+		t.Fatalf("%d transitions recorded for %d frames", trans, tr.Frames.Rows)
+	}
+}

@@ -1,0 +1,300 @@
+// Package core implements the paper's primary contribution: the Learning
+// Everywhere / MLaroundHPC framework. It defines the Oracle (a simulation)
+// and Surrogate (a learned stand-in) abstractions, the UQ-gated Wrapper
+// that routes queries to the surrogate when the prediction is trustworthy
+// and falls back to simulation otherwise — feeding every fallback run back
+// into the training set ("no run is wasted", §II-C1) — and the effective
+// performance accounting of §III-D.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Oracle is a (typically expensive) simulation: the ground-truth map from
+// input parameters to result features. MD codes, SEIR simulators and
+// tissue models all present this face to the framework.
+type Oracle interface {
+	// Dims returns the input and output dimensionality.
+	Dims() (in, out int)
+	// Run executes the simulation for one input point.
+	Run(x []float64) ([]float64, error)
+}
+
+// OracleFunc adapts a plain function into an Oracle.
+type OracleFunc struct {
+	In, Out int
+	F       func(x []float64) ([]float64, error)
+}
+
+// Dims implements Oracle.
+func (o OracleFunc) Dims() (int, int) { return o.In, o.Out }
+
+// Run implements Oracle.
+func (o OracleFunc) Run(x []float64) ([]float64, error) { return o.F(x) }
+
+// Surrogate is a trainable approximation of an Oracle with uncertainty
+// quantification (§III-B: "one must learn not just the result of a
+// simulation but also the uncertainty of the prediction").
+type Surrogate interface {
+	// Train (re)fits the surrogate on the given samples.
+	Train(x, y *tensor.Matrix) error
+	// Predict returns the point prediction for one input.
+	Predict(x []float64) []float64
+	// PredictWithUQ returns the predictive mean and a per-output
+	// uncertainty (standard deviation) in target units.
+	PredictWithUQ(x []float64) (mean, std []float64)
+	// Trained reports whether Train has succeeded at least once.
+	Trained() bool
+}
+
+// NNSurrogate is the reference Surrogate: a dropout MLP trained on
+// standardized features/targets, with MC-dropout UQ.
+type NNSurrogate struct {
+	// Hidden lists hidden-layer widths (e.g. 30, 48 per §III-D).
+	Hidden []int
+	// Dropout is the dropout probability powering MC-dropout UQ.
+	Dropout float64
+	// MCPasses is the number of stochastic forward passes for UQ.
+	MCPasses int
+	// Train hyperparameters.
+	Epochs    int
+	BatchSize int
+	LR        float64
+
+	rng     *xrand.Rand
+	inDim   int
+	outDim  int
+	net     *nn.Network
+	xScaler *nn.Scaler
+	yScaler *nn.Scaler
+	trained bool
+}
+
+// NewNNSurrogate builds an untrained surrogate for an in→out mapping.
+func NewNNSurrogate(in, out int, hidden []int, dropout float64, rng *xrand.Rand) *NNSurrogate {
+	return &NNSurrogate{
+		Hidden: hidden, Dropout: dropout, MCPasses: 30,
+		Epochs: 200, BatchSize: 32, LR: 1e-2,
+		rng: rng, inDim: in, outDim: out,
+	}
+}
+
+// Train implements Surrogate; it refits from a fresh initialization so the
+// surrogate reflects exactly the data provided.
+func (s *NNSurrogate) Train(x, y *tensor.Matrix) error {
+	if x.Rows == 0 {
+		return errors.New("core: cannot train surrogate on empty dataset")
+	}
+	if x.Cols != s.inDim || y.Cols != s.outDim {
+		return fmt.Errorf("core: surrogate expects %d→%d, got %d→%d", s.inDim, s.outDim, x.Cols, y.Cols)
+	}
+	s.xScaler = nn.FitScaler(x)
+	s.yScaler = nn.FitScaler(y)
+	xs := s.xScaler.Transform(x)
+	ys := s.yScaler.Transform(y)
+	widths := append([]int{s.inDim}, append(append([]int(nil), s.Hidden...), s.outDim)...)
+	s.net = nn.NewMLP(s.rng.Split(), nn.Tanh, s.Dropout, widths...)
+	_, err := s.net.Fit(xs, ys, nn.TrainConfig{
+		Epochs: s.Epochs, BatchSize: s.BatchSize,
+		Optimizer: nn.NewAdam(s.LR), Seed: s.rng.Uint64(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: surrogate training: %w", err)
+	}
+	s.trained = true
+	return nil
+}
+
+// Predict implements Surrogate.
+func (s *NNSurrogate) Predict(x []float64) []float64 {
+	s.mustBeTrained()
+	z := s.net.Predict(s.xScaler.TransformVec(x))
+	return s.yScaler.Inverse(z)
+}
+
+// PredictWithUQ implements Surrogate using MC dropout; with Dropout == 0
+// the std is identically zero (a deterministic surrogate claims perfect
+// confidence, which is why the wrapper requires Dropout > 0 to gate).
+func (s *NNSurrogate) PredictWithUQ(x []float64) (mean, std []float64) {
+	s.mustBeTrained()
+	m, sd := s.net.PredictMC(s.xScaler.TransformVec(x), s.MCPasses)
+	mean = s.yScaler.Inverse(m)
+	std = make([]float64, len(sd))
+	for j := range sd {
+		std[j] = s.yScaler.InverseScale(j, sd[j])
+	}
+	return mean, std
+}
+
+// Trained implements Surrogate.
+func (s *NNSurrogate) Trained() bool { return s.trained }
+
+func (s *NNSurrogate) mustBeTrained() {
+	if !s.trained {
+		panic("core: surrogate used before training")
+	}
+}
+
+// Source identifies which path answered a Wrapper query.
+type Source int
+
+// Query answer provenance.
+const (
+	FromSimulation Source = iota
+	FromSurrogate
+)
+
+// String returns the source name.
+func (s Source) String() string {
+	if s == FromSurrogate {
+		return "surrogate"
+	}
+	return "simulation"
+}
+
+// WrapperConfig tunes the MLaroundHPC wrapper.
+type WrapperConfig struct {
+	// MinTrainSamples is how many oracle runs to collect before the first
+	// surrogate fit.
+	MinTrainSamples int
+	// RetrainEvery triggers a refit after this many new oracle runs
+	// post-training ("with new simulation runs, the ML layer gets better
+	// at making predictions", §II-C1 outcome 3). 0 disables refits.
+	RetrainEvery int
+	// UQThreshold is the maximum acceptable predictive std (target units,
+	// per output) for a surrogate answer to be served.
+	UQThreshold float64
+}
+
+// Wrapper is the MLaroundHPC runtime: it answers Query calls from the
+// learned surrogate when the UQ gate passes and from the simulation
+// otherwise, accumulating every simulation result as training data and
+// keeping the effective-performance ledger.
+type Wrapper struct {
+	oracle    Oracle
+	surrogate Surrogate
+	cfg       WrapperConfig
+
+	xs, ys        *tensor.Matrix
+	newSinceTrain int
+	ledger        Ledger
+}
+
+// NewWrapper constructs a wrapper. The surrogate must provide non-trivial
+// UQ (e.g. MC dropout) for the gate to be meaningful.
+func NewWrapper(oracle Oracle, surrogate Surrogate, cfg WrapperConfig) *Wrapper {
+	if cfg.MinTrainSamples <= 0 {
+		cfg.MinTrainSamples = 50
+	}
+	in, out := oracle.Dims()
+	return &Wrapper{
+		oracle: oracle, surrogate: surrogate, cfg: cfg,
+		xs: tensor.NewMatrix(0, in), ys: tensor.NewMatrix(0, out),
+	}
+}
+
+// Ledger returns a copy of the effective-performance ledger.
+func (w *Wrapper) Ledger() Ledger { return w.ledger }
+
+// TrainingSetSize returns the number of accumulated oracle samples.
+func (w *Wrapper) TrainingSetSize() int { return w.xs.Rows }
+
+// Query answers one input point, reporting which path served it and, for
+// surrogate answers, the predictive uncertainty.
+func (w *Wrapper) Query(x []float64) (y []float64, src Source, std []float64, err error) {
+	if w.surrogate.Trained() {
+		t0 := time.Now()
+		mean, sd := w.surrogate.PredictWithUQ(x)
+		dt := time.Since(t0)
+		if maxOf(sd) <= w.cfg.UQThreshold {
+			w.ledger.RecordLookup(dt)
+			return mean, FromSurrogate, sd, nil
+		}
+		// Gate failed: fall through to simulation; the lookup time is
+		// charged as overhead.
+		w.ledger.RecordRejectedLookup(dt)
+	}
+	t0 := time.Now()
+	y, err = w.oracle.Run(x)
+	dt := time.Since(t0)
+	if err != nil {
+		w.ledger.RecordFailedRun(dt)
+		return nil, FromSimulation, nil, fmt.Errorf("core: oracle: %w", err)
+	}
+	w.ledger.RecordSimulation(dt)
+	w.addSample(x, y)
+	if err := w.maybeTrain(); err != nil {
+		return nil, FromSimulation, nil, err
+	}
+	return y, FromSimulation, nil, nil
+}
+
+func (w *Wrapper) addSample(x, y []float64) {
+	w.xs.Data = append(w.xs.Data, x...)
+	w.xs.Rows++
+	w.ys.Data = append(w.ys.Data, y...)
+	w.ys.Rows++
+	w.newSinceTrain++
+}
+
+func (w *Wrapper) maybeTrain() error {
+	shouldTrain := false
+	if !w.surrogate.Trained() {
+		shouldTrain = w.xs.Rows >= w.cfg.MinTrainSamples
+	} else if w.cfg.RetrainEvery > 0 {
+		shouldTrain = w.newSinceTrain >= w.cfg.RetrainEvery
+	}
+	if !shouldTrain {
+		return nil
+	}
+	t0 := time.Now()
+	if err := w.surrogate.Train(w.xs, w.ys); err != nil {
+		return err
+	}
+	w.ledger.RecordTraining(time.Since(t0), w.xs.Rows)
+	w.newSinceTrain = 0
+	return nil
+}
+
+// Pretrain runs the oracle on the provided design points and fits the
+// surrogate once, charging the ledger accordingly. It is the batch
+// alternative to the online Query path ("one runs the Ntrain simulations,
+// followed by the learning, and then all the Nlookup inferences", §III-D).
+func (w *Wrapper) Pretrain(design *tensor.Matrix) error {
+	for i := 0; i < design.Rows; i++ {
+		x := design.Row(i)
+		t0 := time.Now()
+		y, err := w.oracle.Run(x)
+		dt := time.Since(t0)
+		if err != nil {
+			w.ledger.RecordFailedRun(dt)
+			return fmt.Errorf("core: pretrain point %d: %w", i, err)
+		}
+		w.ledger.RecordSimulation(dt)
+		w.addSample(x, y)
+	}
+	t0 := time.Now()
+	if err := w.surrogate.Train(w.xs, w.ys); err != nil {
+		return err
+	}
+	w.ledger.RecordTraining(time.Since(t0), w.xs.Rows)
+	w.newSinceTrain = 0
+	return nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

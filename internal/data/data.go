@@ -1,0 +1,227 @@
+// Package data provides dataset containers and the train/test plumbing the
+// paper's exemplars use: the nano-confinement surrogate's 6864-run corpus
+// with its 70/30 split (§III-D), k-fold evaluation, and CSV persistence so
+// generated simulation corpora can be cached between experiment stages.
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Dataset pairs a feature matrix X with a target matrix Y, row-aligned.
+type Dataset struct {
+	X, Y *tensor.Matrix
+	// FeatureNames and TargetNames are optional column labels.
+	FeatureNames []string
+	TargetNames  []string
+}
+
+// New constructs a dataset, validating row alignment.
+func New(x, y *tensor.Matrix) *Dataset {
+	if x.Rows != y.Rows {
+		panic(fmt.Sprintf("data: X has %d rows, Y has %d", x.Rows, y.Rows))
+	}
+	return &Dataset{X: x, Y: y}
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.X.Rows }
+
+// Append adds one sample. It reallocates, so batch construction should use
+// the matrix constructors directly; Append exists for online accumulation
+// in MLaroundHPC wrappers where "no run is wasted" (§II-C1).
+func (d *Dataset) Append(x, y []float64) {
+	if d.X == nil {
+		d.X = tensor.NewMatrix(0, len(x))
+		d.Y = tensor.NewMatrix(0, len(y))
+	}
+	if len(x) != d.X.Cols || len(y) != d.Y.Cols {
+		panic("data: append dimension mismatch")
+	}
+	d.X.Data = append(d.X.Data, x...)
+	d.X.Rows++
+	d.Y.Data = append(d.Y.Data, y...)
+	d.Y.Rows++
+}
+
+// Subset returns a new dataset containing the given row indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	x := tensor.NewMatrix(len(idx), d.X.Cols)
+	y := tensor.NewMatrix(len(idx), d.Y.Cols)
+	for i, id := range idx {
+		copy(x.Row(i), d.X.Row(id))
+		copy(y.Row(i), d.Y.Row(id))
+	}
+	return &Dataset{X: x, Y: y, FeatureNames: d.FeatureNames, TargetNames: d.TargetNames}
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// training fraction, shuffling with rng. The paper's exemplars use
+// trainFrac=0.7 ("70% of total 6864 runs with 30% ... used for testing").
+func (d *Dataset) Split(trainFrac float64, rng *xrand.Rand) (train, test *Dataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic("data: train fraction must be in (0,1)")
+	}
+	perm := rng.Perm(d.Len())
+	nTrain := int(trainFrac * float64(d.Len()))
+	return d.Subset(perm[:nTrain]), d.Subset(perm[nTrain:])
+}
+
+// KFold returns k (train, test) index partitions for cross-validation.
+func (d *Dataset) KFold(k int, rng *xrand.Rand) [][2][]int {
+	if k < 2 || k > d.Len() {
+		panic("data: invalid fold count")
+	}
+	perm := rng.Perm(d.Len())
+	folds := make([][2][]int, k)
+	for f := 0; f < k; f++ {
+		lo := f * d.Len() / k
+		hi := (f + 1) * d.Len() / k
+		test := append([]int(nil), perm[lo:hi]...)
+		train := make([]int, 0, d.Len()-(hi-lo))
+		train = append(train, perm[:lo]...)
+		train = append(train, perm[hi:]...)
+		folds[f] = [2][]int{train, test}
+	}
+	return folds
+}
+
+// TargetColumn extracts target column j as a slice.
+func (d *Dataset) TargetColumn(j int) []float64 {
+	out := make([]float64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		out[i] = d.Y.At(i, j)
+	}
+	return out
+}
+
+// WriteCSV writes the dataset as a CSV with a header row; feature columns
+// first, then target columns.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.X.Cols+d.Y.Cols)
+	for j := 0; j < d.X.Cols; j++ {
+		name := fmt.Sprintf("x%d", j)
+		if j < len(d.FeatureNames) {
+			name = d.FeatureNames[j]
+		}
+		header = append(header, name)
+	}
+	for j := 0; j < d.Y.Cols; j++ {
+		name := fmt.Sprintf("y%d", j)
+		if j < len(d.TargetNames) {
+			name = d.TargetNames[j]
+		}
+		header = append(header, name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < d.Len(); i++ {
+		for j := 0; j < d.X.Cols; j++ {
+			rec[j] = strconv.FormatFloat(d.X.At(i, j), 'g', -1, 64)
+		}
+		for j := 0; j < d.Y.Cols; j++ {
+			rec[d.X.Cols+j] = strconv.FormatFloat(d.Y.At(i, j), 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV, treating the first nFeatures
+// columns as X and the remainder as Y.
+func ReadCSV(r io.Reader, nFeatures int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: read csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("data: empty csv")
+	}
+	header := records[0]
+	if nFeatures <= 0 || nFeatures >= len(header) {
+		return nil, fmt.Errorf("data: nFeatures %d out of range for %d columns", nFeatures, len(header))
+	}
+	nTargets := len(header) - nFeatures
+	rows := records[1:]
+	x := tensor.NewMatrix(len(rows), nFeatures)
+	y := tensor.NewMatrix(len(rows), nTargets)
+	for i, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("data: row %d has %d fields, want %d", i, len(rec), len(header))
+		}
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: row %d col %d: %w", i, j, err)
+			}
+			if j < nFeatures {
+				x.Set(i, j, v)
+			} else {
+				y.Set(i, j-nFeatures, v)
+			}
+		}
+	}
+	return &Dataset{
+		X: x, Y: y,
+		FeatureNames: append([]string(nil), header[:nFeatures]...),
+		TargetNames:  append([]string(nil), header[nFeatures:]...),
+	}, nil
+}
+
+// GridSample generates all combinations of the provided per-feature value
+// grids (a full factorial design), the sampling plan used to cover the
+// experimental control-parameter space of the nano-confinement exemplar.
+func GridSample(grids ...[]float64) *tensor.Matrix {
+	if len(grids) == 0 {
+		return tensor.NewMatrix(0, 0)
+	}
+	total := 1
+	for _, g := range grids {
+		if len(g) == 0 {
+			return tensor.NewMatrix(0, len(grids))
+		}
+		total *= len(g)
+	}
+	out := tensor.NewMatrix(total, len(grids))
+	for i := 0; i < total; i++ {
+		rem := i
+		for j := len(grids) - 1; j >= 0; j-- {
+			g := grids[j]
+			out.Set(i, j, g[rem%len(g)])
+			rem /= len(g)
+		}
+	}
+	return out
+}
+
+// LatinHypercube draws n points from the unit hypercube of the given
+// dimension with one point per axis stratum, then maps each column k to
+// [lo[k], hi[k]]. It is the space-filling design used when a full grid is
+// too expensive.
+func LatinHypercube(n, dim int, lo, hi []float64, rng *xrand.Rand) *tensor.Matrix {
+	if len(lo) != dim || len(hi) != dim {
+		panic("data: bounds length mismatch")
+	}
+	out := tensor.NewMatrix(n, dim)
+	for j := 0; j < dim; j++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			u := (float64(perm[i]) + rng.Float64()) / float64(n)
+			out.Set(i, j, lo[j]+u*(hi[j]-lo[j]))
+		}
+	}
+	return out
+}

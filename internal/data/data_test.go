@@ -1,0 +1,281 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+func mkDataset(n int, rng *xrand.Rand) *Dataset {
+	x := tensor.NewMatrix(n, 2)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		x.Set(i, 1, float64(i))
+		y.Set(i, 0, float64(i)*10)
+	}
+	return New(x, y)
+}
+
+func TestNewValidatesRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched rows did not panic")
+		}
+	}()
+	New(tensor.NewMatrix(2, 1), tensor.NewMatrix(3, 1))
+}
+
+func TestAppend(t *testing.T) {
+	d := &Dataset{}
+	d.Append([]float64{1, 2}, []float64{3})
+	d.Append([]float64{4, 5}, []float64{6})
+	if d.Len() != 2 {
+		t.Fatalf("len %d want 2", d.Len())
+	}
+	if d.X.At(1, 1) != 5 || d.Y.At(1, 0) != 6 {
+		t.Fatal("appended values wrong")
+	}
+}
+
+func TestAppendDimensionPanic(t *testing.T) {
+	d := &Dataset{}
+	d.Append([]float64{1, 2}, []float64{3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad append did not panic")
+		}
+	}()
+	d.Append([]float64{1}, []float64{3})
+}
+
+func TestSubset(t *testing.T) {
+	rng := xrand.New(1)
+	d := mkDataset(10, rng)
+	s := d.Subset([]int{3, 7})
+	if s.Len() != 2 {
+		t.Fatalf("subset len %d", s.Len())
+	}
+	if s.X.At(0, 1) != 3 || s.X.At(1, 1) != 7 {
+		t.Fatal("subset picked wrong rows")
+	}
+	// Mutating the subset must not affect the parent.
+	s.X.Set(0, 1, -1)
+	if d.X.At(3, 1) != 3 {
+		t.Fatal("subset aliases parent")
+	}
+}
+
+func TestSplitSizesAndPartition(t *testing.T) {
+	rng := xrand.New(2)
+	d := mkDataset(100, rng)
+	train, test := d.Split(0.7, rng)
+	if train.Len() != 70 || test.Len() != 30 {
+		t.Fatalf("split sizes %d/%d want 70/30", train.Len(), test.Len())
+	}
+	// Row ids (column 1 of X) must partition 0..99 exactly.
+	seen := map[float64]int{}
+	for i := 0; i < train.Len(); i++ {
+		seen[train.X.At(i, 1)]++
+	}
+	for i := 0; i < test.Len(); i++ {
+		seen[test.X.At(i, 1)]++
+	}
+	if len(seen) != 100 {
+		t.Fatalf("split lost rows: %d distinct", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %g appears %d times", id, c)
+		}
+	}
+}
+
+func TestSplitPanicsOnBadFraction(t *testing.T) {
+	rng := xrand.New(3)
+	d := mkDataset(10, rng)
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Split(%g) did not panic", f)
+				}
+			}()
+			d.Split(f, rng)
+		}()
+	}
+}
+
+func TestKFoldPartitions(t *testing.T) {
+	rng := xrand.New(4)
+	d := mkDataset(25, rng)
+	folds := d.KFold(5, rng)
+	if len(folds) != 5 {
+		t.Fatalf("%d folds want 5", len(folds))
+	}
+	testCount := map[int]int{}
+	for _, f := range folds {
+		train, test := f[0], f[1]
+		if len(train)+len(test) != 25 {
+			t.Fatalf("fold sizes %d+%d != 25", len(train), len(test))
+		}
+		inTrain := map[int]bool{}
+		for _, i := range train {
+			inTrain[i] = true
+		}
+		for _, i := range test {
+			if inTrain[i] {
+				t.Fatal("index in both train and test")
+			}
+			testCount[i]++
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if testCount[i] != 1 {
+			t.Fatalf("index %d in test %d times, want exactly 1", i, testCount[i])
+		}
+	}
+}
+
+func TestTargetColumn(t *testing.T) {
+	rng := xrand.New(5)
+	d := mkDataset(4, rng)
+	col := d.TargetColumn(0)
+	want := []float64{0, 10, 20, 30}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("target col %v want %v", col, want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := xrand.New(6)
+	d := mkDataset(7, rng)
+	d.FeatureNames = []string{"u", "id"}
+	d.TargetNames = []string{"out"}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round-trip len %d want %d", got.Len(), d.Len())
+	}
+	if got.FeatureNames[0] != "u" || got.TargetNames[0] != "out" {
+		t.Fatal("column names lost")
+	}
+	for i := 0; i < d.Len(); i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(got.X.At(i, j)-d.X.At(i, j)) > 1e-12 {
+				t.Fatal("X changed in round trip")
+			}
+		}
+		if math.Abs(got.Y.At(i, 0)-d.Y.At(i, 0)) > 1e-12 {
+			t.Fatal("Y changed in round trip")
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), 1); err == nil {
+		t.Fatal("empty csv should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,notanumber"), 1); err == nil {
+		t.Fatal("non-numeric field should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2"), 5); err == nil {
+		t.Fatal("nFeatures out of range should error")
+	}
+}
+
+func TestGridSample(t *testing.T) {
+	g := GridSample([]float64{1, 2}, []float64{10, 20, 30})
+	if g.Rows != 6 || g.Cols != 2 {
+		t.Fatalf("grid shape %dx%d want 6x2", g.Rows, g.Cols)
+	}
+	// All combinations present exactly once.
+	seen := map[[2]float64]bool{}
+	for i := 0; i < g.Rows; i++ {
+		seen[[2]float64{g.At(i, 0), g.At(i, 1)}] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("grid has %d distinct rows want 6", len(seen))
+	}
+}
+
+func TestGridSampleEmpty(t *testing.T) {
+	if g := GridSample(); g.Rows != 0 {
+		t.Fatal("no grids should give empty matrix")
+	}
+	if g := GridSample([]float64{1}, nil); g.Rows != 0 {
+		t.Fatal("empty axis should give zero rows")
+	}
+}
+
+func TestLatinHypercubeProperties(t *testing.T) {
+	rng := xrand.New(7)
+	lo := []float64{-1, 0}
+	hi := []float64{1, 10}
+	n := 50
+	m := LatinHypercube(n, 2, lo, hi, rng)
+	if m.Rows != n || m.Cols != 2 {
+		t.Fatalf("LHS shape %dx%d", m.Rows, m.Cols)
+	}
+	for j := 0; j < 2; j++ {
+		strata := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := m.At(i, j)
+			if v < lo[j] || v >= hi[j] {
+				t.Fatalf("LHS value %g outside [%g,%g)", v, lo[j], hi[j])
+			}
+			u := (v - lo[j]) / (hi[j] - lo[j])
+			s := int(u * float64(n))
+			if s == n {
+				s = n - 1
+			}
+			if strata[s] {
+				t.Fatalf("stratum %d hit twice in column %d", s, j)
+			}
+			strata[s] = true
+		}
+	}
+}
+
+func TestLatinHypercubeBoundsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bounds did not panic")
+		}
+	}()
+	LatinHypercube(10, 3, []float64{0}, []float64{1}, xrand.New(1))
+}
+
+// Property: Split preserves every (x,y) pairing.
+func TestSplitPairingPreservedQuick(t *testing.T) {
+	rng := xrand.New(8)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%50) + 10
+		d := mkDataset(n, rng)
+		train, test := d.Split(0.5, rng)
+		check := func(s *Dataset) bool {
+			for i := 0; i < s.Len(); i++ {
+				if s.Y.At(i, 0) != s.X.At(i, 1)*10 {
+					return false
+				}
+			}
+			return true
+		}
+		return check(train) && check(test)
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,501 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/epi"
+	"repro/internal/md"
+	"repro/internal/nn"
+	"repro/internal/potential"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/tissue"
+	"repro/internal/xrand"
+)
+
+// E4Result compares DEFSI against the mechanistic and naive baselines.
+type E4Result struct {
+	Methods []string
+	State   []float64
+	County  []float64
+}
+
+// E4DEFSI reproduces §II-A: the simulation-trained two-branch network
+// "performs comparably or better ... for state level forecasting; and it
+// outperforms the EpiFast method for county level forecasting".
+func E4DEFSI(scale Scale) (*E4Result, error) {
+	popCfg := epi.DefaultPopulationConfig()
+	popCfg.Counties = pick(scale, 4, 8)
+	popCfg.MeanCountyPop = pick(scale, 250, 800)
+	popCfg.Seed = 100
+	net, err := epi.GeneratePopulation(popCfg)
+	if err != nil {
+		return nil, err
+	}
+	weeks := pick(scale, 10, 16)
+	base := epi.DefaultDiseaseParams()
+
+	cfg := epi.DefaultDEFSIConfig()
+	cfg.TrainSeasons = pick(scale, 20, 60)
+	cfg.Epochs = pick(scale, 60, 150)
+	d, err := epi.TrainDEFSI(net, []epi.DiseaseParams{base}, weeks, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Held-out truth season with slightly shifted transmissibility.
+	truthParams := base
+	truthParams.Beta *= 1.1
+	truth, err := epi.Simulate(net, truthParams, weeks, 987654)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(55)
+	sv := epi.Surveil(truth.WeeklyState, cfg.ReportRate, cfg.NoiseFrac, rng)
+
+	fromWeek := cfg.Window
+	res := &E4Result{}
+
+	// DEFSI.
+	defsiEval, err := epi.EvaluateForecasts(truth, fromWeek,
+		func(t int) (float64, error) { return d.ForecastState(sv, t) },
+		func(t int) ([]float64, error) { return d.ForecastCounty(sv, t) }, "DEFSI")
+	if err != nil {
+		return nil, err
+	}
+	// EpiFast-like calibration.
+	ef := epi.NewEpiFastLike(net, base, weeks, cfg.ReportRate, 77)
+	if err := ef.Calibrate(sv, fromWeek); err != nil {
+		return nil, err
+	}
+	efEval, err := epi.EvaluateForecasts(truth, fromWeek, ef.ForecastState, ef.ForecastCounty, "EpiFast-like")
+	if err != nil {
+		return nil, err
+	}
+	// Persistence.
+	pf := epi.NewPersistenceForecast(net, cfg.ReportRate)
+	pfEval, err := epi.EvaluateForecasts(truth, fromWeek,
+		func(t int) (float64, error) { return pf.ForecastState(sv, t) },
+		func(t int) ([]float64, error) { return pf.ForecastCounty(sv, t) }, "persistence")
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range []*epi.ForecastEval{defsiEval, efEval, pfEval} {
+		res.Methods = append(res.Methods, ev.Method)
+		res.State = append(res.State, ev.StateRMSE)
+		res.County = append(res.County, ev.CountyRMSE)
+	}
+	return res, nil
+}
+
+// String renders the E4 table.
+func (r *E4Result) String() string {
+	var b strings.Builder
+	b.WriteString("E4 DEFSI vs baselines (weekly incidence RMSE; lower is better)\n")
+	fmt.Fprintf(&b, "  %-14s %-12s %-12s\n", "method", "state", "county")
+	for i, m := range r.Methods {
+		fmt.Fprintf(&b, "  %-14s %-12.4g %-12.4g\n", m, r.State[i], r.County[i])
+	}
+	return b.String()
+}
+
+// E5Result is the NN-potential speedup/accuracy table.
+type E5Result struct {
+	TrainConfigs  int
+	TestMAE       float64
+	MeanBaseline  float64
+	OracleSeconds float64
+	NNSeconds     float64
+	SpeedupFactor float64
+}
+
+// E5NNPotential reproduces §II-C2: the learned potential is vastly cheaper
+// than the reference method ("the ML model was >1000 faster than the
+// traditional evaluation of the underlying quantum mechanical physical
+// equations") at near-reference accuracy.
+func E5NNPotential(scale Scale) (*E5Result, error) {
+	rng := xrand.New(60)
+	oracle := potential.NewAbInitio()
+	// The oracle's SCF iteration count is the documented cost knob for the
+	// DFT stand-in (DESIGN.md §2); the reproduction runs it at a depth
+	// where the reference method dominates, as DFT does in the paper.
+	oracle.SCFIters = pick(scale, 400, 1000)
+	atoms := pick(scale, 16, 32)
+	nTrain := pick(scale, 80, 400)
+	nTest := pick(scale, 20, 80)
+
+	base, err := potential.RandomConfiguration(atoms, 4.5, 1.0, rng)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(n int) ([]*potential.Configuration, []float64) {
+		cs := make([]*potential.Configuration, n)
+		es := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cs[i] = potential.Perturb(base, 0.25, rng)
+			es[i] = oracle.Energy(cs[i])
+		}
+		return cs, es
+	}
+	trainC, trainE := mk(nTrain)
+	testC, testE := mk(nTest)
+
+	sf := potential.DefaultSymmetryFunctions()
+	p := potential.NewNNPotential(sf, []int{24, 24}, rng.Split())
+	p.Epochs = pick(scale, 100, 300)
+	if err := p.Fit(trainC, trainE); err != nil {
+		return nil, err
+	}
+
+	res := &E5Result{TrainConfigs: nTrain, TestMAE: p.MAE(testC, testE)}
+	meanPred := make([]float64, nTest)
+	m := stats.Mean(trainE)
+	for i := range meanPred {
+		meanPred[i] = m
+	}
+	res.MeanBaseline = stats.MAE(meanPred, testE)
+
+	// Timing: oracle vs learned potential on the same configuration.
+	reps := pick(scale, 10, 40)
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		oracle.Energy(testC[i%nTest])
+	}
+	res.OracleSeconds = time.Since(t0).Seconds() / float64(reps)
+	t0 = time.Now()
+	for i := 0; i < reps*10; i++ {
+		p.PredictEnergy(testC[i%nTest])
+	}
+	res.NNSeconds = time.Since(t0).Seconds() / float64(reps*10)
+	res.SpeedupFactor = res.OracleSeconds / res.NNSeconds
+	return res, nil
+}
+
+// String renders the E5 table.
+func (r *E5Result) String() string {
+	return fmt.Sprintf(
+		"E5 NN potential vs ab-initio stand-in (%d training configs)\n"+
+			"  test MAE=%.4g (mean-predictor baseline %.4g)\n"+
+			"  T(oracle)=%.3gs T(NN)=%.3gs  speedup=%.4g (paper: >1000x)\n",
+		r.TrainConfigs, r.TestMAE, r.MeanBaseline,
+		r.OracleSeconds, r.NNSeconds, r.SpeedupFactor)
+}
+
+// E6Result compares active-learning acquisition strategies.
+type E6Result struct {
+	TargetMAE     float64
+	RandomCurve   []potential.ALRound
+	ALCurve       []potential.ALRound
+	RandomSamples int
+	ALSamples     int
+}
+
+// E6ActiveLearning reproduces the §II-C2 claim that uncertainty-driven
+// acquisition reaches target accuracy with a fraction of the data ("The
+// AL approach reduced the amount of required training data to 10% of the
+// original model").
+func E6ActiveLearning(scale Scale) (*E6Result, error) {
+	rng := xrand.New(61)
+	oracle := potential.NewAbInitio()
+	oracle.SCFIters = 5
+	atoms := pick(scale, 8, 16)
+	base, err := potential.RandomConfiguration(atoms, 4.0, 1.0, rng)
+	if err != nil {
+		return nil, err
+	}
+	// The pool is dominated by near-equilibrium geometries; only 20% are
+	// the strongly distorted configurations the test set is drawn from.
+	// Random acquisition mostly resamples the easy region; committee
+	// variance targets "regions of chemical space where the current ML
+	// model could not make good predictions" (§II-C2), which is what buys
+	// the paper's sample-efficiency factor.
+	poolN := pick(scale, 120, 600)
+	pool := make([]*potential.Configuration, poolN)
+	for i := range pool {
+		amp := 0.1
+		if i%5 == 0 {
+			amp = 0.6
+		}
+		pool[i] = potential.Perturb(base, amp, rng)
+	}
+	nTest := pick(scale, 25, 100)
+	testC := make([]*potential.Configuration, nTest)
+	testE := make([]float64, nTest)
+	for i := range testC {
+		testC[i] = potential.Perturb(base, 0.6, rng)
+		testE[i] = oracle.Energy(testC[i])
+	}
+	sf := potential.DefaultSymmetryFunctions()
+	common := potential.ActiveLearnConfig{
+		CommitteeSize:  2,
+		Hidden:         []int{16},
+		InitialSamples: pick(scale, 10, 30),
+		BatchSize:      pick(scale, 10, 30),
+		MaxSamples:     pick(scale, 70, 360),
+		Seed:           62,
+	}
+	alCfg := common
+	alCfg.Strategy = potential.ALCommitteeVariance
+	alCurve, err := potential.ActiveLearn(oracle, sf, pool, testC, testE, alCfg)
+	if err != nil {
+		return nil, err
+	}
+	rndCfg := common
+	rndCfg.Strategy = potential.ALRandom
+	rndCurve, err := potential.ActiveLearn(oracle, sf, pool, testC, testE, rndCfg)
+	if err != nil {
+		return nil, err
+	}
+	// Target: 110% of the best accuracy random acquisition achieves
+	// anywhere on its curve — "how many samples does each strategy need to
+	// match random at its best".
+	bestRnd := rndCurve[0].TestMAE
+	for _, r := range rndCurve {
+		if r.TestMAE < bestRnd {
+			bestRnd = r.TestMAE
+		}
+	}
+	target := bestRnd * 1.1
+	return &E6Result{
+		TargetMAE:     target,
+		RandomCurve:   rndCurve,
+		ALCurve:       alCurve,
+		RandomSamples: potential.SamplesToReachMAE(rndCurve, target),
+		ALSamples:     potential.SamplesToReachMAE(alCurve, target),
+	}, nil
+}
+
+// String renders the E6 table.
+func (r *E6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E6 active learning (target MAE=%.4g)\n", r.TargetMAE)
+	fmt.Fprintf(&b, "  %-10s %-22s %-22s\n", "samples", "random MAE", "committee-variance MAE")
+	n := len(r.RandomCurve)
+	if len(r.ALCurve) > n {
+		n = len(r.ALCurve)
+	}
+	for i := 0; i < n; i++ {
+		rnd, al := "-", "-"
+		samples := 0
+		if i < len(r.RandomCurve) {
+			rnd = fmt.Sprintf("%.4g", r.RandomCurve[i].TestMAE)
+			samples = r.RandomCurve[i].Samples
+		}
+		if i < len(r.ALCurve) {
+			al = fmt.Sprintf("%.4g", r.ALCurve[i].TestMAE)
+			samples = r.ALCurve[i].Samples
+		}
+		fmt.Fprintf(&b, "  %-10d %-22s %-22s\n", samples, rnd, al)
+	}
+	fmt.Fprintf(&b, "  samples to target: random=%d  AL=%d (paper: AL needs ~10%%)\n", r.RandomSamples, r.ALSamples)
+	return b.String()
+}
+
+// E7Result is the dropout-UQ calibration table.
+type E7Result struct {
+	DropoutRates []float64
+	Coverage     []float64 // empirical coverage of ±2σ intervals
+	MeanWidth    []float64
+}
+
+// E7DropoutUQ reproduces §III-B and research issue 10: MC-dropout supplies
+// prediction intervals whose quality varies with the dropout rate ("two
+// models with different dropout rates can produce different UQ results").
+func E7DropoutUQ(scale Scale) (*E7Result, error) {
+	rng := xrand.New(63)
+	// Cheap analytic oracle so the experiment isolates UQ behaviour.
+	f := func(x []float64) float64 {
+		return 2*x[0]*x[0] + 0.5*x[1] + 0.3*x[0]*x[1]
+	}
+	n := pick(scale, 300, 1200)
+	x := tensor.NewMatrix(n, 2)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Range(-1, 1))
+		x.Set(i, 1, rng.Range(-1, 1))
+		y.Set(i, 0, f(x.Row(i))+rng.Normal(0, 0.05))
+	}
+	nTest := pick(scale, 100, 400)
+	res := &E7Result{DropoutRates: []float64{0.05, 0.1, 0.2, 0.35, 0.5}}
+	for _, p := range res.DropoutRates {
+		net := nn.NewMLP(rng.Split(), nn.Tanh, p, 2, 48, 48, 1)
+		if _, err := net.Fit(x, y, nn.TrainConfig{
+			Epochs: pick(scale, 120, 400), BatchSize: 32,
+			Optimizer: nn.NewAdam(3e-3), Seed: uint64(p * 1000),
+		}); err != nil {
+			return nil, err
+		}
+		target := make([]float64, nTest)
+		lo := make([]float64, nTest)
+		hi := make([]float64, nTest)
+		widthSum := 0.0
+		for i := 0; i < nTest; i++ {
+			in := []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+			target[i] = f(in)
+			mean, std := net.PredictMC(in, 40)
+			lo[i] = mean[0] - 2*std[0]
+			hi[i] = mean[0] + 2*std[0]
+			widthSum += hi[i] - lo[i]
+		}
+		res.Coverage = append(res.Coverage, stats.Coverage(target, lo, hi))
+		res.MeanWidth = append(res.MeanWidth, widthSum/float64(nTest))
+	}
+	return res, nil
+}
+
+// String renders the E7 table.
+func (r *E7Result) String() string {
+	var b strings.Builder
+	b.WriteString("E7 MC-dropout UQ calibration (±2σ intervals, nominal ~95%)\n")
+	fmt.Fprintf(&b, "  %-10s %-12s %-12s\n", "dropout p", "coverage", "mean width")
+	for i, p := range r.DropoutRates {
+		fmt.Fprintf(&b, "  %-10g %-12.3f %-12.4g\n", p, r.Coverage[i], r.MeanWidth[i])
+	}
+	return b.String()
+}
+
+// E8Result is the solvent-surrogate speedup table.
+type E8Result struct {
+	SolventFrac    float64
+	ExactSeconds   float64
+	SurroSeconds   float64
+	Speedup        float64
+	DensityL1Error float64 // relative L1 error between ion profiles
+}
+
+// E8SolventSurrogate reproduces §II-C2: replacing solvent-solvent
+// interactions ("80%-90% of the computational effort") with a learned
+// kernel yields large gains at matching accuracy.
+func E8SolventSurrogate(scale Scale) (*E8Result, error) {
+	p := md.Params{H: 6, Zp: 1, Zn: 1, C: 0.04, D: 1.0}
+	cfg := md.DefaultConfig()
+	cfg.L = float64(pick(scale, 8, 12))
+	cfg.SolventFrac = 0.85
+	cfg.Seed = 9
+	steps := pick(scale, 200, 1500)
+	rc := md.RunConfig{EquilSteps: steps / 4, SampleSteps: steps, SampleEvery: 5, Bins: 20}
+
+	run := func(kernel md.PairKernel) (*md.Result, float64, error) {
+		sys, err := md.NewSystem(p, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		if kernel != nil {
+			sys.SetSolventKernel(kernel)
+		}
+		t0 := time.Now()
+		res, err := sys.Run(context.Background(), rc)
+		return res, time.Since(t0).Seconds(), err
+	}
+	exactRes, exactSec, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	tab := md.NewTabulatedKernel(md.ExactSolventKernel{}, 0.5, 2.5, 4096)
+	surRes, surSec, err := run(tab)
+	if err != nil {
+		return nil, err
+	}
+	// Relative L1 distance between ion density profiles.
+	num, den := 0.0, 0.0
+	for i := range exactRes.Profile {
+		num += absf(exactRes.Profile[i] - surRes.Profile[i])
+		den += absf(exactRes.Profile[i])
+	}
+	return &E8Result{
+		SolventFrac:    cfg.SolventFrac,
+		ExactSeconds:   exactSec,
+		SurroSeconds:   surSec,
+		Speedup:        exactSec / surSec,
+		DensityL1Error: num / den,
+	}, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders the E8 table.
+func (r *E8Result) String() string {
+	return fmt.Sprintf(
+		"E8 solvent-kernel surrogate (solvent fraction %.0f%%)\n"+
+			"  exact kernel run: %.3gs   surrogate kernel run: %.3gs\n"+
+			"  speedup=%.2fx  ion-profile rel. L1 error=%.3f\n",
+		100*r.SolventFrac, r.ExactSeconds, r.SurroSeconds, r.Speedup, r.DensityL1Error)
+}
+
+// E9Result is the tissue short-circuit table.
+type E9Result struct {
+	K             int
+	Jumps         int
+	ExplicitSec   float64
+	SurrogateSec  float64
+	Speedup       float64
+	L2Error       float64
+	FieldScale    float64
+	RelativeL2Err float64
+}
+
+// E9TissueShortCircuit reproduces §I/§II-B: the learned coarse-grain
+// macro-stepper replaces K fine micro-steps of advection-diffusion per
+// sweep ("the elimination of short time scales").
+func E9TissueShortCircuit(scale Scale) (*E9Result, error) {
+	size := pick(scale, 32, 96)
+	fine := tissue.NewField(size, size, 1)
+	params := tissue.PDEParams{Diff: 0.4, VX: 0.05, VY: 0, Decay: 0.01, Dt: 0.2}
+	fineSolver := tissue.NewSolver(params, fine)
+	k := pick(scale, 8, 16)
+	ls := tissue.NewLearnedStencil(k, 1, 0, xrand.New(64))
+	tc := tissue.DefaultTrainConfig()
+	tc.Fields = pick(scale, 10, 25)
+	tc.Epochs = pick(scale, 120, 300)
+	if err := ls.Train(fine, fineSolver, tc); err != nil {
+		return nil, err
+	}
+	// Fresh test field.
+	test := tissue.NewField(size, size, 1)
+	test.GaussianBump(float64(size)*0.6, float64(size)*0.35, 3, 1.5)
+	test.GaussianBump(float64(size)*0.25, float64(size)*0.7, 4, 0.8)
+	jumps := pick(scale, 3, 8)
+
+	explicit := test.Clone()
+	t0 := time.Now()
+	tissue.NewSolver(params, explicit).Steps(explicit, k*jumps)
+	explicitSec := time.Since(t0).Seconds()
+	truthCoarse := tissue.Restrict(explicit)
+
+	coarse := tissue.Restrict(test)
+	t0 = time.Now()
+	ls.Advance(coarse, k*jumps)
+	surSec := time.Since(t0).Seconds()
+
+	fieldScale := 0.0
+	for _, v := range truthCoarse.U {
+		if v > fieldScale {
+			fieldScale = v
+		}
+	}
+	l2 := tissue.L2Diff(truthCoarse, coarse)
+	return &E9Result{
+		K: k, Jumps: jumps,
+		ExplicitSec: explicitSec, SurrogateSec: surSec,
+		Speedup: explicitSec / surSec,
+		L2Error: l2, FieldScale: fieldScale, RelativeL2Err: l2 / fieldScale,
+	}, nil
+}
+
+// String renders the E9 table.
+func (r *E9Result) String() string {
+	return fmt.Sprintf(
+		"E9 tissue transport short-circuit (K=%d micro-steps/jump, %d jumps, 2x coarse grid)\n"+
+			"  explicit fine solve: %.3gs   learned coarse stepper: %.3gs  speedup=%.2fx\n"+
+			"  L2 field error=%.4g (peak %.3g, relative %.3f)\n",
+		r.K, r.Jumps, r.ExplicitSec, r.SurrogateSec, r.Speedup,
+		r.L2Error, r.FieldScale, r.RelativeL2Err)
+}

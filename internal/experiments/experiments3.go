@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// E10ModelsResult compares the four synchronization patterns.
+type E10ModelsResult struct {
+	Workers []int
+	// Rows indexed [model][workerIdx].
+	FinalLoss [][]float64
+	Seconds   [][]float64
+	// Collective comparison at max workers (full SGD run).
+	RingSeconds    float64
+	CentralSeconds float64
+	// Pure collective timing per allreduce round at two vector lengths:
+	// the optimized ring pays off once the vector is large (model-size
+	// dependence, §III-A: "the model size can be huge").
+	SmallVecLen, LargeVecLen      int
+	RingSmallSec, CentralSmallSec float64
+	RingLargeSec, CentralLargeSec float64
+}
+
+// E10ParallelModels reproduces §III-A: SGD under Locking / Rotation /
+// Allreduce / Asynchronous synchronization at several worker counts, plus
+// the optimized-vs-naive collective comparison ("optimized collective
+// communication can improve the model update speed, thus allowing the
+// model to converge faster").
+func E10ParallelModels(scale Scale) (*E10ModelsResult, error) {
+	rng := xrand.New(70)
+	n := pick(scale, 800, 6000)
+	dim := pick(scale, 16, 64)
+	epochs := pick(scale, 60, 300)
+	prob, _ := parallel.NewRandomSGDProblem(n, dim, 0.01, rng)
+
+	res := &E10ModelsResult{Workers: []int{1, 2, 4, 8}}
+	res.FinalLoss = make([][]float64, len(parallel.AllModels()))
+	res.Seconds = make([][]float64, len(parallel.AllModels()))
+	for mi, model := range parallel.AllModels() {
+		for _, w := range res.Workers {
+			tr, err := parallel.RunSGD(prob, model, parallel.SGDConfig{
+				Workers: w, Epochs: epochs, LR: 0.1, Seed: 71,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.FinalLoss[mi] = append(res.FinalLoss[mi], tr.Final())
+			res.Seconds[mi] = append(res.Seconds[mi], tr.Seconds[len(tr.Seconds)-1])
+		}
+	}
+	// Collectives head-to-head at 8 workers.
+	trRing, err := parallel.RunSGD(prob, parallel.Allreduce, parallel.SGDConfig{
+		Workers: 8, Epochs: epochs, LR: 0.1, UseRing: true, Seed: 71,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trCentral, err := parallel.RunSGD(prob, parallel.Allreduce, parallel.SGDConfig{
+		Workers: 8, Epochs: epochs, LR: 0.1, UseRing: false, Seed: 71,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.RingSeconds = trRing.Seconds[len(trRing.Seconds)-1]
+	res.CentralSeconds = trCentral.Seconds[len(trCentral.Seconds)-1]
+
+	// Pure collective micro-comparison at small and large vector lengths.
+	res.SmallVecLen = 1 << 10
+	res.LargeVecLen = pick(scale, 1<<18, 1<<20)
+	rounds := pick(scale, 20, 50)
+	res.RingSmallSec = timeRingAllreduce(8, res.SmallVecLen, rounds)
+	res.CentralSmallSec = timeCentralAllreduce(8, res.SmallVecLen, rounds)
+	res.RingLargeSec = timeRingAllreduce(8, res.LargeVecLen, rounds)
+	res.CentralLargeSec = timeCentralAllreduce(8, res.LargeVecLen, rounds)
+	return res, nil
+}
+
+func timeRingAllreduce(p, n, rounds int) float64 {
+	ring := parallel.NewRingAllreducer(p)
+	vecs := make([][]float64, p)
+	for r := range vecs {
+		vecs[r] = make([]float64, n)
+	}
+	t0 := time.Now()
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				ring.Allreduce(r, vecs[r])
+			}(r)
+		}
+		wg.Wait()
+	}
+	return time.Since(t0).Seconds() / float64(rounds)
+}
+
+func timeCentralAllreduce(p, n, rounds int) float64 {
+	central := parallel.NewCentralAllreducer(p, n)
+	vecs := make([][]float64, p)
+	for r := range vecs {
+		vecs[r] = make([]float64, n)
+	}
+	t0 := time.Now()
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				central.Allreduce(vecs[r])
+			}(r)
+		}
+		wg.Wait()
+	}
+	return time.Since(t0).Seconds() / float64(rounds)
+}
+
+// String renders the E10 models table.
+func (r *E10ModelsResult) String() string {
+	var b strings.Builder
+	b.WriteString("E10a parallel computation models (SGD, final loss | seconds)\n")
+	fmt.Fprintf(&b, "  %-14s", "model")
+	for _, w := range r.Workers {
+		fmt.Fprintf(&b, " %-19s", fmt.Sprintf("P=%d", w))
+	}
+	b.WriteString("\n")
+	for mi, model := range parallel.AllModels() {
+		fmt.Fprintf(&b, "  %-14s", model)
+		for wi := range r.Workers {
+			fmt.Fprintf(&b, " %-19s", fmt.Sprintf("%.3g | %.3gs", r.FinalLoss[mi][wi], r.Seconds[mi][wi]))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  collectives @P=8 (full SGD run): ring=%.3gs  central=%.3gs\n", r.RingSeconds, r.CentralSeconds)
+	fmt.Fprintf(&b, "  allreduce/round  len=%-8d ring=%.3gs central=%.3gs\n", r.SmallVecLen, r.RingSmallSec, r.CentralSmallSec)
+	fmt.Fprintf(&b, "  allreduce/round  len=%-8d ring=%.3gs central=%.3gs (optimized collective wins at scale)\n", r.LargeVecLen, r.RingLargeSec, r.CentralLargeSec)
+	return b.String()
+}
+
+// E10SchedResult compares scheduling strategies on the heterogeneous
+// MLaroundHPC workload.
+type E10SchedResult struct {
+	Strategies []string
+	Makespan   []float64
+	Imbalance  []float64
+	Util       []float64
+}
+
+// E10Scheduler reproduces research issues 7–8: heterogeneous surrogate +
+// simulation task mixes need dynamic load balancing; static placement
+// strands workers behind the expensive simulations.
+func E10Scheduler(scale Scale) (*E10SchedResult, error) {
+	nSim := pick(scale, 8, 24)
+	nInfer := pick(scale, 200, 2000)
+	simIters := pick(scale, 2_000_000, 20_000_000)
+	inferIters := pick(scale, 2_000, 20_000)
+	const workers = 4
+
+	res := &E10SchedResult{}
+	runs := []struct {
+		name string
+		fn   func([]sched.Task, int) (*sched.Result, error)
+	}{
+		{"static", sched.RunStatic},
+		{"dynamic", sched.RunDynamic},
+		{"split-by-class", sched.RunSplitByClass},
+	}
+	for _, r := range runs {
+		tasks := sched.MixedWorkload(nSim, nInfer, simIters, inferIters)
+		out, err := r.fn(tasks, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Strategies = append(res.Strategies, r.name)
+		res.Makespan = append(res.Makespan, out.Makespan.Seconds())
+		res.Imbalance = append(res.Imbalance, out.Imbalance())
+		res.Util = append(res.Util, out.Utilization())
+	}
+	return res, nil
+}
+
+// String renders the E10 scheduler table.
+func (r *E10SchedResult) String() string {
+	var b strings.Builder
+	b.WriteString("E10b heterogeneous scheduling (sim+inference mix, 4 workers)\n")
+	fmt.Fprintf(&b, "  %-16s %-12s %-12s %-12s\n", "strategy", "makespan(s)", "imbalance", "utilization")
+	for i, s := range r.Strategies {
+		fmt.Fprintf(&b, "  %-16s %-12.4g %-12.3f %-12.3f\n", s, r.Makespan[i], r.Imbalance[i], r.Util[i])
+	}
+	return b.String()
+}

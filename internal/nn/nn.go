@@ -1,0 +1,459 @@
+// Package nn is a from-scratch feed-forward neural network library: the ML
+// subsystem of the Learning Everywhere framework. The paper's exemplars use
+// small dense networks (e.g. the 6→30→48→3 autotuning net of §III-D and the
+// D=5 density surrogate of §II-C1) built with Keras/TensorFlow; this package
+// reproduces that capability on the standard library alone, including the
+// dropout machinery the paper's UQ discussion (§III-B) depends on:
+// MC-dropout predictive distributions and deep ensembles.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Activation is a differentiable element-wise nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns f'(x) expressed in terms of y = f(x), which all
+// supported activations admit; this avoids storing pre-activations.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// Layer is one differentiable stage of a network. Forward consumes a batch
+// (rows = samples) and Backward consumes the gradient of the loss with
+// respect to the layer output, returning the gradient with respect to the
+// layer input and accumulating parameter gradients internally.
+type Layer interface {
+	Forward(x *tensor.Matrix, training bool, rng *xrand.Rand) *tensor.Matrix
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+	// Params returns parameter/gradient matrix pairs (may be empty).
+	Params() []ParamPair
+}
+
+// ParamPair couples a parameter matrix with its gradient accumulator.
+type ParamPair struct {
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// Dense is a fully connected layer: out = act(x*W + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	W, B   *tensor.Matrix // B is 1 x Out
+	GW, GB *tensor.Matrix
+
+	lastIn  *tensor.Matrix // cached input batch
+	lastOut *tensor.Matrix // cached post-activation output
+}
+
+// NewDense constructs a dense layer with Glorot-uniform initialized weights.
+func NewDense(in, out int, act Activation, rng *xrand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  tensor.NewMatrix(in, out),
+		B:  tensor.NewMatrix(1, out),
+		GW: tensor.NewMatrix(in, out),
+		GB: tensor.NewMatrix(1, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W.Data {
+		d.W.Data[i] = rng.Range(-limit, limit)
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, training bool, _ *xrand.Rand) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, x.Cols))
+	}
+	z := tensor.MatMul(x, d.W)
+	for i := 0; i < z.Rows; i++ {
+		row := z.Row(i)
+		for j := range row {
+			row[j] = d.Act.apply(row[j] + d.B.Data[j])
+		}
+	}
+	if training {
+		d.lastIn = x
+		d.lastOut = z
+	}
+	return z
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if d.lastIn == nil {
+		panic("nn: Backward before Forward(training=true)")
+	}
+	// delta = gradOut ⊙ act'(out)
+	delta := tensor.NewMatrix(gradOut.Rows, gradOut.Cols)
+	for i := range delta.Data {
+		delta.Data[i] = gradOut.Data[i] * d.Act.derivFromOutput(d.lastOut.Data[i])
+	}
+	// Accumulate parameter gradients (mean over batch applied by loss).
+	gw := tensor.MatMul(d.lastIn.T(), delta)
+	tensor.Add(d.GW, d.GW, gw)
+	for i := 0; i < delta.Rows; i++ {
+		row := delta.Row(i)
+		for j := range row {
+			d.GB.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMul(delta, d.W.T())
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []ParamPair {
+	return []ParamPair{{d.W, d.GW}, {d.B, d.GB}}
+}
+
+// Dropout zeroes each input unit with probability P during training (and
+// during MC-dropout inference), scaling survivors by 1/(1-P) (inverted
+// dropout) so expected activations match eval mode.
+type Dropout struct {
+	P    float64
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with drop probability p in [0,1).
+func NewDropout(p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p}
+}
+
+// Forward implements Layer.
+func (dr *Dropout) Forward(x *tensor.Matrix, training bool, rng *xrand.Rand) *tensor.Matrix {
+	if !training || dr.P == 0 {
+		dr.mask = nil
+		return x
+	}
+	if rng == nil {
+		panic("nn: dropout in training mode requires rng")
+	}
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	dr.mask = make([]float64, len(x.Data))
+	keep := 1 - dr.P
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if rng.Float64() < keep {
+			dr.mask[i] = inv
+			out.Data[i] = v * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (dr *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if dr.mask == nil {
+		return gradOut
+	}
+	out := tensor.NewMatrix(gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		out.Data[i] = g * dr.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (dr *Dropout) Params() []ParamPair { return nil }
+
+// Loss scores a prediction batch against targets and produces the gradient
+// of the mean loss with respect to the predictions.
+type Loss interface {
+	// Value returns the mean loss over the batch.
+	Value(pred, target *tensor.Matrix) float64
+	// Grad returns d(meanLoss)/d(pred).
+	Grad(pred, target *tensor.Matrix) *tensor.Matrix
+	Name() string
+}
+
+// MSE is mean squared error, averaged over batch and outputs.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Value implements Loss.
+func (MSE) Value(pred, target *tensor.Matrix) float64 {
+	s := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		s += d * d
+	}
+	return s / float64(len(pred.Data))
+}
+
+// Grad implements Loss.
+func (MSE) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+	g := tensor.NewMatrix(pred.Rows, pred.Cols)
+	scale := 2 / float64(len(pred.Data))
+	for i := range pred.Data {
+		g.Data[i] = scale * (pred.Data[i] - target.Data[i])
+	}
+	return g
+}
+
+// SoftmaxCrossEntropy applies a softmax over each output row and scores it
+// against one-hot (or soft) target rows with cross entropy.
+type SoftmaxCrossEntropy struct{}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+
+func softmaxRow(row []float64) []float64 {
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	out := make([]float64, len(row))
+	sum := 0.0
+	for i, v := range row {
+		out[i] = math.Exp(v - m)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Value implements Loss.
+func (SoftmaxCrossEntropy) Value(pred, target *tensor.Matrix) float64 {
+	s := 0.0
+	for i := 0; i < pred.Rows; i++ {
+		p := softmaxRow(pred.Row(i))
+		trow := target.Row(i)
+		for j := range p {
+			if trow[j] > 0 {
+				s -= trow[j] * math.Log(math.Max(p[j], 1e-15))
+			}
+		}
+	}
+	return s / float64(pred.Rows)
+}
+
+// Grad implements Loss.
+func (SoftmaxCrossEntropy) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
+	g := tensor.NewMatrix(pred.Rows, pred.Cols)
+	inv := 1 / float64(pred.Rows)
+	for i := 0; i < pred.Rows; i++ {
+		p := softmaxRow(pred.Row(i))
+		trow := target.Row(i)
+		grow := g.Row(i)
+		for j := range p {
+			grow[j] = (p[j] - trow[j]) * inv
+		}
+	}
+	return g
+}
+
+// Network is an ordered stack of layers.
+type Network struct {
+	Layers []Layer
+	rng    *xrand.Rand
+}
+
+// NewNetwork builds a network around the given layers; rng drives dropout
+// masks and any stochastic layer behaviour.
+func NewNetwork(rng *xrand.Rand, layers ...Layer) *Network {
+	return &Network{Layers: layers, rng: rng}
+}
+
+// NewMLP is a convenience constructor: a fully connected net with the given
+// layer widths (e.g. 6,30,48,3), hidden activation act, Identity output,
+// and optional dropout after each hidden layer (dropP == 0 disables).
+func NewMLP(rng *xrand.Rand, act Activation, dropP float64, widths ...int) *Network {
+	if len(widths) < 2 {
+		panic("nn: MLP needs at least input and output widths")
+	}
+	var layers []Layer
+	for i := 0; i < len(widths)-1; i++ {
+		last := i == len(widths)-2
+		a := act
+		if last {
+			a = Identity
+		}
+		layers = append(layers, NewDense(widths[i], widths[i+1], a, rng))
+		if !last && dropP > 0 {
+			layers = append(layers, NewDropout(dropP))
+		}
+	}
+	return NewNetwork(rng, layers...)
+}
+
+// Forward runs a batch through the network. training toggles dropout and
+// gradient caching.
+func (n *Network) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	h := x
+	for _, l := range n.Layers {
+		h = l.Forward(h, training, n.rng)
+	}
+	return h
+}
+
+// Backward propagates the loss gradient through all layers, accumulating
+// parameter gradients.
+func (n *Network) Backward(gradOut *tensor.Matrix) {
+	g := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// ZeroGrad clears all accumulated parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			p.Grad.Zero()
+		}
+	}
+}
+
+// Params returns every parameter pair in the network, in layer order.
+func (n *Network) Params() []ParamPair {
+	var out []ParamPair
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total scalar parameter count.
+func (n *Network) NumParams() int {
+	c := 0
+	for _, p := range n.Params() {
+		c += len(p.Value.Data)
+	}
+	return c
+}
+
+// Predict runs a single deterministic forward pass (dropout disabled) on
+// one input vector.
+func (n *Network) Predict(x []float64) []float64 {
+	in := tensor.FromRows([][]float64{x})
+	out := n.Forward(in, false)
+	res := make([]float64, out.Cols)
+	copy(res, out.Row(0))
+	return res
+}
+
+// PredictBatch runs a deterministic forward pass on a batch.
+func (n *Network) PredictBatch(x *tensor.Matrix) *tensor.Matrix {
+	return n.Forward(x, false)
+}
+
+// PredictMC performs passes stochastic forward evaluations with dropout
+// active (MC dropout, Gal & Ghahramani as cited in §III-B) and returns the
+// predictive mean and standard deviation per output. With no dropout
+// layers the std collapses to zero.
+func (n *Network) PredictMC(x []float64, passes int) (mean, std []float64) {
+	if passes < 1 {
+		panic("nn: PredictMC needs at least one pass")
+	}
+	in := tensor.FromRows([][]float64{x})
+	var sum, sumSq []float64
+	for p := 0; p < passes; p++ {
+		out := n.forwardStochastic(in)
+		row := out.Row(0)
+		if sum == nil {
+			sum = make([]float64, len(row))
+			sumSq = make([]float64, len(row))
+		}
+		for j, v := range row {
+			sum[j] += v
+			sumSq[j] += v * v
+		}
+	}
+	mean = make([]float64, len(sum))
+	std = make([]float64, len(sum))
+	for j := range sum {
+		m := sum[j] / float64(passes)
+		mean[j] = m
+		v := sumSq[j]/float64(passes) - m*m
+		if v < 0 {
+			v = 0
+		}
+		std[j] = math.Sqrt(v)
+	}
+	return mean, std
+}
+
+// forwardStochastic runs a forward pass with dropout sampling active but
+// without caching activations for backprop (dense layers run in eval mode;
+// dropout layers in training mode).
+func (n *Network) forwardStochastic(x *tensor.Matrix) *tensor.Matrix {
+	h := x
+	for _, l := range n.Layers {
+		if _, isDrop := l.(*Dropout); isDrop {
+			h = l.Forward(h, true, n.rng)
+		} else {
+			h = l.Forward(h, false, n.rng)
+		}
+	}
+	return h
+}

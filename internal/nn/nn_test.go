@@ -1,0 +1,583 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+func TestActivationValues(t *testing.T) {
+	cases := []struct {
+		act  Activation
+		x    float64
+		want float64
+	}{
+		{Identity, 3, 3},
+		{ReLU, -2, 0},
+		{ReLU, 2, 2},
+		{Tanh, 0, 0},
+		{Sigmoid, 0, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.act.apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%v(%g) = %g want %g", c.act, c.x, got, c.want)
+		}
+	}
+}
+
+func TestActivationDerivativeConsistency(t *testing.T) {
+	// derivFromOutput(f(x)) must match numerical derivative of f at x.
+	for _, act := range []Activation{Identity, Tanh, Sigmoid} {
+		for _, x := range []float64{-2, -0.5, 0.3, 1.7} {
+			h := 1e-6
+			num := (act.apply(x+h) - act.apply(x-h)) / (2 * h)
+			got := act.derivFromOutput(act.apply(x))
+			if math.Abs(num-got) > 1e-5 {
+				t.Fatalf("%v'(%g): analytic %g numeric %g", act, x, got, num)
+			}
+		}
+	}
+	// ReLU away from the kink.
+	if ReLU.derivFromOutput(ReLU.apply(2)) != 1 || ReLU.derivFromOutput(ReLU.apply(-2)) != 0 {
+		t.Fatal("relu derivative wrong")
+	}
+}
+
+func TestDenseForwardShape(t *testing.T) {
+	rng := xrand.New(1)
+	d := NewDense(3, 5, ReLU, rng)
+	x := tensor.NewMatrix(7, 3)
+	out := d.Forward(x, false, nil)
+	if out.Rows != 7 || out.Cols != 5 {
+		t.Fatalf("dense output %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := xrand.New(1)
+	d := NewDense(2, 1, Identity, rng)
+	d.W.Set(0, 0, 2)
+	d.W.Set(1, 0, 3)
+	d.B.Set(0, 0, 1)
+	out := d.Forward(tensor.FromRows([][]float64{{1, 1}}), false, nil)
+	if out.At(0, 0) != 6 {
+		t.Fatalf("dense forward = %g want 6", out.At(0, 0))
+	}
+}
+
+// gradCheck compares analytic parameter gradients with central finite
+// differences of the loss for a small network.
+func gradCheck(t *testing.T, act Activation, seed uint64) {
+	t.Helper()
+	rng := xrand.New(seed)
+	net := NewMLP(rng, act, 0, 3, 4, 2)
+	x := tensor.FromRows([][]float64{{0.5, -0.2, 0.8}, {-1, 0.3, 0.1}, {0.2, 0.9, -0.4}})
+	y := tensor.FromRows([][]float64{{1, 0}, {0, 1}, {0.5, 0.5}})
+	loss := MSE{}
+
+	lossAt := func() float64 {
+		return loss.Value(net.Forward(x, false), y)
+	}
+
+	net.ZeroGrad()
+	pred := net.Forward(x, true)
+	net.Backward(loss.Grad(pred, y))
+
+	const h = 1e-6
+	for pi, p := range net.Params() {
+		for k := range p.Value.Data {
+			orig := p.Value.Data[k]
+			p.Value.Data[k] = orig + h
+			up := lossAt()
+			p.Value.Data[k] = orig - h
+			down := lossAt()
+			p.Value.Data[k] = orig
+			numeric := (up - down) / (2 * h)
+			analytic := p.Grad.Data[k]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("%v param %d[%d]: analytic %g numeric %g", act, pi, k, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestGradientCheckTanh(t *testing.T)     { gradCheck(t, Tanh, 11) }
+func TestGradientCheckSigmoid(t *testing.T)  { gradCheck(t, Sigmoid, 12) }
+func TestGradientCheckIdentity(t *testing.T) { gradCheck(t, Identity, 13) }
+
+func TestGradientCheckCrossEntropy(t *testing.T) {
+	rng := xrand.New(21)
+	net := NewMLP(rng, Tanh, 0, 4, 6, 3)
+	x := tensor.FromRows([][]float64{{0.1, -0.5, 0.7, 0.2}, {0.9, 0.4, -0.3, -0.8}})
+	y := tensor.FromRows([][]float64{{1, 0, 0}, {0, 0, 1}})
+	loss := SoftmaxCrossEntropy{}
+	net.ZeroGrad()
+	pred := net.Forward(x, true)
+	net.Backward(loss.Grad(pred, y))
+	const h = 1e-6
+	for pi, p := range net.Params() {
+		for k := 0; k < len(p.Value.Data); k += 3 { // sample every third weight
+			orig := p.Value.Data[k]
+			p.Value.Data[k] = orig + h
+			up := loss.Value(net.Forward(x, false), y)
+			p.Value.Data[k] = orig - h
+			down := loss.Value(net.Forward(x, false), y)
+			p.Value.Data[k] = orig
+			numeric := (up - down) / (2 * h)
+			if math.Abs(numeric-p.Grad.Data[k]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("xent param %d[%d]: analytic %g numeric %g", pi, k, p.Grad.Data[k], numeric)
+			}
+		}
+	}
+}
+
+func TestSoftmaxRowNormalizes(t *testing.T) {
+	p := softmaxRow([]float64{1, 2, 3, 1000})
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("softmax produced %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sums to %g", sum)
+	}
+	if p[3] < 0.99 {
+		t.Fatal("softmax should concentrate on large logit")
+	}
+}
+
+func TestFitLearnsLinearFunction(t *testing.T) {
+	rng := xrand.New(31)
+	const n = 400
+	x := tensor.NewMatrix(n, 2)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		a, b := rng.Range(-1, 1), rng.Range(-1, 1)
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y.Set(i, 0, 2*a-3*b+0.5)
+	}
+	net := NewMLP(rng, Tanh, 0, 2, 16, 1)
+	hist, err := net.Fit(x, y, TrainConfig{Epochs: 300, BatchSize: 32, Optimizer: NewAdam(0.01), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := hist.TrainLoss[len(hist.TrainLoss)-1]
+	if final > 1e-3 {
+		t.Fatalf("final loss %g, network failed to learn linear map", final)
+	}
+	pred := net.Predict([]float64{0.3, -0.2})
+	want := 2*0.3 - 3*(-0.2) + 0.5
+	if math.Abs(pred[0]-want) > 0.05 {
+		t.Fatalf("prediction %g want %g", pred[0], want)
+	}
+}
+
+func TestFitLearnsNonlinearFunction(t *testing.T) {
+	rng := xrand.New(37)
+	const n = 600
+	x := tensor.NewMatrix(n, 1)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		v := rng.Range(-2, 2)
+		x.Set(i, 0, v)
+		y.Set(i, 0, math.Sin(v))
+	}
+	net := NewMLP(rng, Tanh, 0, 1, 24, 24, 1)
+	if _, err := net.Fit(x, y, TrainConfig{Epochs: 400, BatchSize: 64, Optimizer: NewAdam(0.01), Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, v := range []float64{-1.5, -0.7, 0, 0.9, 1.8} {
+		p := net.Predict([]float64{v})[0]
+		if e := math.Abs(p - math.Sin(v)); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.1 {
+		t.Fatalf("worst sin() error %g", worst)
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	rng := xrand.New(41)
+	const n = 200
+	x := tensor.NewMatrix(n, 1)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		v := rng.Range(-1, 1)
+		x.Set(i, 0, v)
+		y.Set(i, 0, v)
+	}
+	net := NewMLP(rng, Tanh, 0, 1, 8, 1)
+	hist, err := net.Fit(x, y, TrainConfig{
+		Epochs: 5000, BatchSize: 32, Optimizer: NewAdam(0.01),
+		ValFrac: 0.25, Patience: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Stopped < 0 {
+		t.Fatal("expected early stopping to trigger on a trivially learnable task")
+	}
+	if len(hist.ValLoss) == 0 {
+		t.Fatal("validation loss history empty")
+	}
+}
+
+func TestFitErrorsOnMismatchedRows(t *testing.T) {
+	rng := xrand.New(43)
+	net := NewMLP(rng, Tanh, 0, 1, 4, 1)
+	_, err := net.Fit(tensor.NewMatrix(3, 1), tensor.NewMatrix(4, 1), TrainConfig{Epochs: 1})
+	if err == nil {
+		t.Fatal("mismatched rows should error")
+	}
+}
+
+func TestFitErrorsOnEmpty(t *testing.T) {
+	rng := xrand.New(43)
+	net := NewMLP(rng, Tanh, 0, 1, 4, 1)
+	if _, err := net.Fit(tensor.NewMatrix(0, 1), tensor.NewMatrix(0, 1), TrainConfig{Epochs: 1}); err == nil {
+		t.Fatal("empty training set should error")
+	}
+}
+
+func TestFitDivergenceDetected(t *testing.T) {
+	rng := xrand.New(47)
+	const n = 64
+	x := tensor.NewMatrix(n, 1)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Range(-100, 100))
+		y.Set(i, 0, rng.Range(-100, 100))
+	}
+	net := NewMLP(rng, ReLU, 0, 1, 16, 1)
+	// Absurd learning rate to force divergence.
+	_, err := net.Fit(x, y, TrainConfig{Epochs: 200, BatchSize: 8, Optimizer: NewSGD(1e6, 0.9), Seed: 4})
+	if err == nil {
+		t.Fatal("expected ErrDiverged with lr=1e6")
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(0.5)
+	x := tensor.FromRows([][]float64{{1, 2, 3}})
+	out := d.Forward(x, false, nil)
+	if !tensor.Equal(out, x, 0) {
+		t.Fatal("dropout in eval mode should be identity")
+	}
+}
+
+func TestDropoutTrainingMaskStatistics(t *testing.T) {
+	rng := xrand.New(53)
+	d := NewDropout(0.3)
+	x := tensor.NewMatrix(1, 10000)
+	x.Fill(1)
+	out := d.Forward(x, true, rng)
+	zeros := 0
+	sum := 0.0
+	for _, v := range out.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	frac := float64(zeros) / float64(len(out.Data))
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("dropped fraction %g want ~0.3", frac)
+	}
+	// Inverted dropout keeps the expectation.
+	if mean := sum / float64(len(out.Data)); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("post-dropout mean %g want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardUsesMask(t *testing.T) {
+	rng := xrand.New(59)
+	d := NewDropout(0.5)
+	x := tensor.NewMatrix(1, 100)
+	x.Fill(1)
+	out := d.Forward(x, true, rng)
+	g := tensor.NewMatrix(1, 100)
+	g.Fill(1)
+	back := d.Backward(g)
+	for i := range out.Data {
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("backward mask inconsistent with forward mask")
+		}
+	}
+}
+
+func TestDropoutInvalidP(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDropout(%g) did not panic", p)
+				}
+			}()
+			NewDropout(p)
+		}()
+	}
+}
+
+func TestPredictMCUncertainty(t *testing.T) {
+	rng := xrand.New(61)
+	net := NewMLP(rng, Tanh, 0.2, 2, 32, 1)
+	mean, std := net.PredictMC([]float64{0.5, 0.5}, 50)
+	if len(mean) != 1 || len(std) != 1 {
+		t.Fatalf("bad MC output lengths %d %d", len(mean), len(std))
+	}
+	if std[0] <= 0 {
+		t.Fatal("MC dropout should produce nonzero predictive std")
+	}
+	// Without dropout the std must be exactly zero.
+	det := NewMLP(rng, Tanh, 0, 2, 32, 1)
+	_, std0 := det.PredictMC([]float64{0.5, 0.5}, 10)
+	if std0[0] != 0 {
+		t.Fatalf("deterministic net MC std = %g want 0", std0[0])
+	}
+}
+
+func TestEnsemblePredictSpread(t *testing.T) {
+	rng := xrand.New(67)
+	e := NewEnsemble(5, rng, func(r *xrand.Rand) *Network {
+		return NewMLP(r, Tanh, 0, 1, 8, 1)
+	})
+	mean, std := e.Predict([]float64{0.3})
+	if len(mean) != 1 {
+		t.Fatal("bad ensemble output")
+	}
+	if std[0] <= 0 {
+		t.Fatal("untrained ensemble members should disagree")
+	}
+}
+
+func TestEnsembleFitReducesSpread(t *testing.T) {
+	rng := xrand.New(71)
+	const n = 300
+	x := tensor.NewMatrix(n, 1)
+	y := tensor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		v := rng.Range(-1, 1)
+		x.Set(i, 0, v)
+		y.Set(i, 0, 3*v)
+	}
+	e := NewEnsemble(3, rng, func(r *xrand.Rand) *Network {
+		return NewMLP(r, Tanh, 0, 1, 12, 1)
+	})
+	_, before := e.Predict([]float64{0.5})
+	if err := e.Fit(x, y, TrainConfig{Epochs: 200, BatchSize: 32, Optimizer: NewAdam(0.01)}); err != nil {
+		t.Fatal(err)
+	}
+	mean, after := e.Predict([]float64{0.5})
+	if math.Abs(mean[0]-1.5) > 0.1 {
+		t.Fatalf("ensemble mean %g want ~1.5", mean[0])
+	}
+	if after[0] >= before[0] {
+		t.Fatalf("training should shrink ensemble spread: before %g after %g", before[0], after[0])
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	rng := xrand.New(73)
+	x := tensor.NewMatrix(200, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Normal(5, 7)
+	}
+	s := FitScaler(x)
+	z := s.Transform(x)
+	for j := 0; j < 3; j++ {
+		col := make([]float64, z.Rows)
+		for i := 0; i < z.Rows; i++ {
+			col[i] = z.At(i, j)
+		}
+		if m := stats.Mean(col); math.Abs(m) > 1e-9 {
+			t.Fatalf("standardized column %d mean %g", j, m)
+		}
+	}
+	v := []float64{1.5, -2, 0.25}
+	back := s.Inverse(s.TransformVec(v))
+	for j := range v {
+		if math.Abs(back[j]-v[j]) > 1e-9 {
+			t.Fatalf("scaler round trip failed at %d: %g vs %g", j, back[j], v[j])
+		}
+	}
+}
+
+func TestScalerConstantColumn(t *testing.T) {
+	x := tensor.FromRows([][]float64{{1, 5}, {2, 5}, {3, 5}})
+	s := FitScaler(x)
+	z := s.Transform(x)
+	for i := 0; i < 3; i++ {
+		if math.IsNaN(z.At(i, 1)) || math.IsInf(z.At(i, 1), 0) {
+			t.Fatal("constant column produced non-finite standardization")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := xrand.New(79)
+	net := NewMLP(rng, Tanh, 0.1, 4, 10, 3)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, xrand.New(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.1, -0.5, 0.3, 0.9}
+	a := net.Predict(in)
+	b := restored.Predict(in)
+	for j := range a {
+		if math.Abs(a[j]-b[j]) > 1e-12 {
+			t.Fatalf("restored prediction differs: %g vs %g", a[j], b[j])
+		}
+	}
+	if restored.NumParams() != net.NumParams() {
+		t.Fatal("parameter count changed across save/load")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob")), xrand.New(1)); err == nil {
+		t.Fatal("loading garbage should fail")
+	}
+}
+
+func TestCloneArchitecture(t *testing.T) {
+	rng := xrand.New(83)
+	net := NewMLP(rng, Sigmoid, 0.2, 3, 7, 2)
+	clone := net.CloneArchitecture(xrand.New(84))
+	if clone.NumParams() != net.NumParams() {
+		t.Fatal("clone parameter count differs")
+	}
+	if len(clone.Layers) != len(net.Layers) {
+		t.Fatal("clone layer count differs")
+	}
+	// Fresh init means different weights.
+	same := true
+	np, cp := net.Params(), clone.Params()
+	for i := range np {
+		for k := range np[i].Value.Data {
+			if np[i].Value.Data[k] != cp[i].Value.Data[k] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("clone should have fresh weights")
+	}
+}
+
+func TestCopyWeightsFrom(t *testing.T) {
+	rng := xrand.New(89)
+	a := NewMLP(rng, Tanh, 0, 2, 5, 1)
+	b := a.CloneArchitecture(xrand.New(90))
+	if err := b.CopyWeightsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.4, -0.6}
+	pa, pb := a.Predict(in), b.Predict(in)
+	if math.Abs(pa[0]-pb[0]) > 1e-12 {
+		t.Fatal("weight copy did not reproduce predictions")
+	}
+	// Mismatched architectures must error.
+	c := NewMLP(xrand.New(91), Tanh, 0, 2, 6, 1)
+	if err := c.CopyWeightsFrom(a); err == nil {
+		t.Fatal("mismatched CopyWeightsFrom should error")
+	}
+}
+
+func TestNumParamsMatchesArchitecture(t *testing.T) {
+	rng := xrand.New(97)
+	// The paper's autotuning net: 6 -> 30 -> 48 -> 3 (§III-D).
+	net := NewMLP(rng, Tanh, 0, 6, 30, 48, 3)
+	want := 6*30 + 30 + 30*48 + 48 + 48*3 + 3
+	if got := net.NumParams(); got != want {
+		t.Fatalf("NumParams = %d want %d", got, want)
+	}
+}
+
+// Property: MC-dropout mean with many passes approaches deterministic
+// prediction scaled expectation (inverted dropout preserves expectation).
+func TestMCDropoutMeanNearDeterministicQuick(t *testing.T) {
+	rng := xrand.New(101)
+	net := NewMLP(rng, Identity, 0.1, 2, 8, 1)
+	if err := quick.Check(func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw)/255 - 0.5
+		b := float64(bRaw)/255 - 0.5
+		det := net.Predict([]float64{a, b})[0]
+		mean, _ := net.PredictMC([]float64{a, b}, 800)
+		// Linear net: expectation of dropout forward equals deterministic.
+		return math.Abs(mean[0]-det) < 0.15*(1+math.Abs(det))
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGDMomentumStep(t *testing.T) {
+	w := tensor.FromRows([][]float64{{1}})
+	g := tensor.FromRows([][]float64{{2}})
+	opt := NewSGD(0.1, 0.5)
+	params := []ParamPair{{w, g}}
+	opt.Step(params) // v = -0.2, w = 0.8
+	if math.Abs(w.At(0, 0)-0.8) > 1e-12 {
+		t.Fatalf("after step1 w=%g want 0.8", w.At(0, 0))
+	}
+	opt.Step(params) // v = 0.5*(-0.2) - 0.2 = -0.3, w = 0.5
+	if math.Abs(w.At(0, 0)-0.5) > 1e-12 {
+		t.Fatalf("after step2 w=%g want 0.5", w.At(0, 0))
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)^2 by hand-feeding gradients.
+	w := tensor.FromRows([][]float64{{0}})
+	g := tensor.FromRows([][]float64{{0}})
+	opt := NewAdam(0.1)
+	params := []ParamPair{{w, g}}
+	for i := 0; i < 500; i++ {
+		g.Set(0, 0, 2*(w.At(0, 0)-3))
+		opt.Step(params)
+	}
+	if math.Abs(w.At(0, 0)-3) > 0.01 {
+		t.Fatalf("Adam converged to %g want 3", w.At(0, 0))
+	}
+}
+
+func BenchmarkForward32x32(b *testing.B) {
+	rng := xrand.New(1)
+	net := NewMLP(rng, Tanh, 0, 5, 32, 32, 3)
+	x := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Predict(x)
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := xrand.New(2)
+	const n = 256
+	x := tensor.NewMatrix(n, 5)
+	y := tensor.NewMatrix(n, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	net := NewMLP(rng, Tanh, 0, 5, 30, 48, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = net.Fit(x, y, TrainConfig{Epochs: 1, BatchSize: 32, Optimizer: NewAdam(1e-3)})
+	}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/xrand"
+)
+
+// layerSpec is the on-wire form of one layer.
+type layerSpec struct {
+	Kind    string // "dense" | "dropout"
+	In, Out int
+	Act     Activation
+	W, B    []float64
+	P       float64
+}
+
+// netSpec is the on-wire form of a Network.
+type netSpec struct {
+	Layers []layerSpec
+}
+
+// Save writes the network architecture and weights to w using encoding/gob.
+// Optimizer state and cached activations are not persisted.
+func (n *Network) Save(w io.Writer) error {
+	spec := netSpec{}
+	for _, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			spec.Layers = append(spec.Layers, layerSpec{
+				Kind: "dense", In: layer.In, Out: layer.Out, Act: layer.Act,
+				W: append([]float64(nil), layer.W.Data...),
+				B: append([]float64(nil), layer.B.Data...),
+			})
+		case *Dropout:
+			spec.Layers = append(spec.Layers, layerSpec{Kind: "dropout", P: layer.P})
+		default:
+			return fmt.Errorf("nn: cannot serialize layer type %T", l)
+		}
+	}
+	return gob.NewEncoder(w).Encode(spec)
+}
+
+// Load reads a network previously written by Save. The supplied rng powers
+// dropout masks for MC inference on the restored model.
+func Load(r io.Reader, rng *xrand.Rand) (*Network, error) {
+	var spec netSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	var layers []Layer
+	for i, ls := range spec.Layers {
+		switch ls.Kind {
+		case "dense":
+			if len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+				return nil, fmt.Errorf("nn: load: layer %d weight size mismatch", i)
+			}
+			d := NewDense(ls.In, ls.Out, ls.Act, rng)
+			copy(d.W.Data, ls.W)
+			copy(d.B.Data, ls.B)
+			layers = append(layers, d)
+		case "dropout":
+			layers = append(layers, NewDropout(ls.P))
+		default:
+			return nil, fmt.Errorf("nn: load: unknown layer kind %q", ls.Kind)
+		}
+	}
+	return NewNetwork(rng, layers...), nil
+}
+
+// CloneArchitecture builds a freshly initialized network with the same
+// architecture as n, using rng for the new weights. Used by active
+// learning retraining and ensembles.
+func (n *Network) CloneArchitecture(rng *xrand.Rand) *Network {
+	var layers []Layer
+	for _, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			layers = append(layers, NewDense(layer.In, layer.Out, layer.Act, rng))
+		case *Dropout:
+			layers = append(layers, NewDropout(layer.P))
+		default:
+			panic(fmt.Sprintf("nn: cannot clone layer type %T", l))
+		}
+	}
+	return NewNetwork(rng, layers...)
+}
+
+// CopyWeightsFrom copies parameter values from src into n; architectures
+// must match exactly.
+func (n *Network) CopyWeightsFrom(src *Network) error {
+	dst := n.Params()
+	s := src.Params()
+	if len(dst) != len(s) {
+		return fmt.Errorf("nn: parameter group count mismatch %d vs %d", len(dst), len(s))
+	}
+	for i := range dst {
+		if dst[i].Value.Rows != s[i].Value.Rows || dst[i].Value.Cols != s[i].Value.Cols {
+			return fmt.Errorf("nn: parameter %d shape mismatch", i)
+		}
+		copy(dst[i].Value.Data, s[i].Value.Data)
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Optimizer updates parameters from accumulated gradients.
+type Optimizer interface {
+	Step(params []ParamPair)
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []ParamPair) {
+	if s.velocity == nil {
+		s.velocity = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.NewMatrix(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		for k := range p.Value.Data {
+			v.Data[k] = s.Momentum*v.Data[k] - s.LR*p.Grad.Data[k]
+			p.Value.Data[k] += v.Data[k]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  []*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for any zero
+// hyperparameter.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []ParamPair) {
+	if a.m == nil {
+		a.m = make([]*tensor.Matrix, len(params))
+		a.v = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.NewMatrix(p.Value.Rows, p.Value.Cols)
+			a.v[i] = tensor.NewMatrix(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for k := range p.Value.Data {
+			g := p.Grad.Data[k]
+			m.Data[k] = a.Beta1*m.Data[k] + (1-a.Beta1)*g
+			v.Data[k] = a.Beta2*v.Data[k] + (1-a.Beta2)*g*g
+			mHat := m.Data[k] / c1
+			vHat := v.Data[k] / c2
+			p.Value.Data[k] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Loss      Loss
+	// ValFrac holds out this fraction of the data for validation-based
+	// early stopping (0 disables).
+	ValFrac float64
+	// Patience is the number of epochs without validation improvement
+	// tolerated before stopping early (0 disables early stopping).
+	Patience int
+	// Verbose, if non-nil, receives one line per epoch.
+	Verbose func(epoch int, trainLoss, valLoss float64)
+	// Seed controls shuffling; independent of network init.
+	Seed uint64
+}
+
+// History records per-epoch losses from a Fit call.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64 // empty when ValFrac == 0
+	Stopped   int       // epoch at which early stopping triggered, or -1
+}
+
+// ErrDiverged is returned when training produced non-finite parameters.
+var ErrDiverged = errors.New("nn: training diverged (non-finite loss or parameters)")
+
+// Fit trains the network on inputs x and targets y (row-aligned) and
+// returns the loss history. It shuffles each epoch, supports minibatches,
+// optional validation split and early stopping, and fails fast with
+// ErrDiverged if the loss or any parameter becomes non-finite.
+func (n *Network) Fit(x, y *tensor.Matrix, cfg TrainConfig) (*History, error) {
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("nn: x has %d rows, y has %d", x.Rows, y.Rows)
+	}
+	if x.Rows == 0 {
+		return nil, errors.New("nn: empty training set")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3)
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = MSE{}
+	}
+	rng := xrand.New(cfg.Seed + 0x5eed)
+
+	// Validation split.
+	nVal := 0
+	if cfg.ValFrac > 0 && cfg.ValFrac < 1 {
+		nVal = int(cfg.ValFrac * float64(x.Rows))
+	}
+	perm := rng.Perm(x.Rows)
+	trainIdx := perm[nVal:]
+	valIdx := perm[:nVal]
+
+	hist := &History{Stopped: -1}
+	bestVal := math.Inf(1)
+	sinceBest := 0
+
+	xb := tensor.NewMatrix(cfg.BatchSize, x.Cols)
+	yb := tensor.NewMatrix(cfg.BatchSize, y.Cols)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+		epochLoss := 0.0
+		batches := 0
+		for start := 0; start < len(trainIdx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(trainIdx) {
+				end = len(trainIdx)
+			}
+			bs := end - start
+			bx, by := xb, yb
+			if bs != cfg.BatchSize {
+				bx = tensor.NewMatrix(bs, x.Cols)
+				by = tensor.NewMatrix(bs, y.Cols)
+			}
+			for bi, idx := range trainIdx[start:end] {
+				copy(bx.Row(bi), x.Row(idx))
+				copy(by.Row(bi), y.Row(idx))
+			}
+			n.ZeroGrad()
+			pred := n.Forward(bx, true)
+			loss := cfg.Loss.Value(pred, by)
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				return hist, ErrDiverged
+			}
+			epochLoss += loss
+			batches++
+			n.Backward(cfg.Loss.Grad(pred, by))
+			cfg.Optimizer.Step(n.Params())
+		}
+		epochLoss /= float64(batches)
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+
+		valLoss := math.NaN()
+		if nVal > 0 {
+			vx := tensor.NewMatrix(nVal, x.Cols)
+			vy := tensor.NewMatrix(nVal, y.Cols)
+			for bi, idx := range valIdx {
+				copy(vx.Row(bi), x.Row(idx))
+				copy(vy.Row(bi), y.Row(idx))
+			}
+			valLoss = cfg.Loss.Value(n.Forward(vx, false), vy)
+			hist.ValLoss = append(hist.ValLoss, valLoss)
+		}
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, epochLoss, valLoss)
+		}
+		if nVal > 0 && cfg.Patience > 0 {
+			if valLoss < bestVal-1e-12 {
+				bestVal = valLoss
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if sinceBest >= cfg.Patience {
+					hist.Stopped = epoch
+					break
+				}
+			}
+		}
+	}
+	for _, p := range n.Params() {
+		if tensor.HasNaN(p.Value) {
+			return hist, ErrDiverged
+		}
+	}
+	return hist, nil
+}
+
+// Ensemble is a bag of independently initialized and trained networks whose
+// prediction spread provides the model-averaging UQ of §III-B ("averaging
+// trained instances of an originally complex model").
+type Ensemble struct {
+	Members []*Network
+}
+
+// NewEnsemble builds size networks with the same architecture via build,
+// which receives a distinct rng per member.
+func NewEnsemble(size int, rng *xrand.Rand, build func(r *xrand.Rand) *Network) *Ensemble {
+	if size < 1 {
+		panic("nn: ensemble needs at least one member")
+	}
+	e := &Ensemble{}
+	for i := 0; i < size; i++ {
+		e.Members = append(e.Members, build(rng.Split()))
+	}
+	return e
+}
+
+// Fit trains every member on the same data (each with a different shuffle
+// seed), returning the first error encountered.
+func (e *Ensemble) Fit(x, y *tensor.Matrix, cfg TrainConfig) error {
+	for i, m := range e.Members {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*0x9e37
+		c.Optimizer = nil // fresh optimizer state per member
+		if cfg.Optimizer != nil {
+			switch opt := cfg.Optimizer.(type) {
+			case *Adam:
+				c.Optimizer = NewAdam(opt.LR)
+			case *SGD:
+				c.Optimizer = NewSGD(opt.LR, opt.Momentum)
+			}
+		}
+		if _, err := m.Fit(x, y, c); err != nil {
+			return fmt.Errorf("nn: ensemble member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Predict returns the ensemble predictive mean and standard deviation.
+func (e *Ensemble) Predict(x []float64) (mean, std []float64) {
+	var sum, sumSq []float64
+	for _, m := range e.Members {
+		p := m.Predict(x)
+		if sum == nil {
+			sum = make([]float64, len(p))
+			sumSq = make([]float64, len(p))
+		}
+		for j, v := range p {
+			sum[j] += v
+			sumSq[j] += v * v
+		}
+	}
+	k := float64(len(e.Members))
+	mean = make([]float64, len(sum))
+	std = make([]float64, len(sum))
+	for j := range sum {
+		m := sum[j] / k
+		mean[j] = m
+		v := sumSq[j]/k - m*m
+		if v < 0 {
+			v = 0
+		}
+		std[j] = math.Sqrt(v)
+	}
+	return mean, std
+}
+
+// Scaler standardizes features to zero mean and unit variance, the
+// preprocessing every exemplar surrogate applies before training.
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler computes per-column statistics of x.
+func FitScaler(x *tensor.Matrix) *Scaler {
+	s := &Scaler{Mean: make([]float64, x.Cols), Std: make([]float64, x.Cols)}
+	for j := 0; j < x.Cols; j++ {
+		sum := 0.0
+		for i := 0; i < x.Rows; i++ {
+			sum += x.At(i, j)
+		}
+		m := sum / float64(x.Rows)
+		s.Mean[j] = m
+		ss := 0.0
+		for i := 0; i < x.Rows; i++ {
+			d := x.At(i, j) - m
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(x.Rows))
+		if std < 1e-12 {
+			std = 1
+		}
+		s.Std[j] = std
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != len(s.Mean) {
+		panic("nn: scaler dimension mismatch")
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// TransformVec standardizes a single feature vector.
+func (s *Scaler) TransformVec(x []float64) []float64 {
+	if len(x) != len(s.Mean) {
+		panic("nn: scaler dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// Inverse maps a standardized vector back to original units.
+func (s *Scaler) Inverse(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = x[j]*s.Std[j] + s.Mean[j]
+	}
+	return out
+}
+
+// InverseScale maps a standardized magnitude (e.g. a predictive std) for
+// output j back to original units without re-centering.
+func (s *Scaler) InverseScale(j int, v float64) float64 { return v * s.Std[j] }

@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// MFProblem is low-rank matrix factorization R ≈ U·Vᵀ on observed entries,
+// the Cyclic Coordinate Descent kernel of §III-A (the workload behind the
+// model-rotation computation pattern of refs [40],[41]).
+type MFProblem struct {
+	Rows, Cols, Rank int
+	// Entries are the observed (i, j, value) ratings.
+	Entries []MFEntry
+	L2      float64
+}
+
+// MFEntry is one observed matrix cell.
+type MFEntry struct {
+	I, J int
+	V    float64
+}
+
+// NewRandomMFProblem plants a rank-r factorization plus noise and observes
+// a fraction of the cells.
+func NewRandomMFProblem(rows, cols, rank int, obsFrac, noise float64, rng *xrand.Rand) *MFProblem {
+	u := make([][]float64, rows)
+	v := make([][]float64, cols)
+	for i := range u {
+		u[i] = make([]float64, rank)
+		for k := range u[i] {
+			u[i][k] = rng.NormFloat64() / math.Sqrt(float64(rank))
+		}
+	}
+	for j := range v {
+		v[j] = make([]float64, rank)
+		for k := range v[j] {
+			v[j][k] = rng.NormFloat64() / math.Sqrt(float64(rank))
+		}
+	}
+	p := &MFProblem{Rows: rows, Cols: cols, Rank: rank, L2: 1e-3}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < obsFrac {
+				val := 0.0
+				for k := 0; k < rank; k++ {
+					val += u[i][k] * v[j][k]
+				}
+				p.Entries = append(p.Entries, MFEntry{I: i, J: j, V: val + rng.Normal(0, noise)})
+			}
+		}
+	}
+	return p
+}
+
+// MFModel is the factor state.
+type MFModel struct {
+	U, V [][]float64
+	Rank int
+}
+
+// NewMFModel initializes small random factors.
+func NewMFModel(p *MFProblem, rng *xrand.Rand) *MFModel {
+	m := &MFModel{Rank: p.Rank}
+	m.U = make([][]float64, p.Rows)
+	for i := range m.U {
+		m.U[i] = make([]float64, p.Rank)
+		for k := range m.U[i] {
+			m.U[i][k] = rng.Normal(0, 0.1)
+		}
+	}
+	m.V = make([][]float64, p.Cols)
+	for j := range m.V {
+		m.V[j] = make([]float64, p.Rank)
+		for k := range m.V[j] {
+			m.V[j][k] = rng.Normal(0, 0.1)
+		}
+	}
+	return m
+}
+
+// RMSE evaluates the model on the observed entries.
+func (p *MFProblem) RMSE(m *MFModel) float64 {
+	if len(p.Entries) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, e := range p.Entries {
+		pred := 0.0
+		for k := 0; k < p.Rank; k++ {
+			pred += m.U[e.I][k] * m.V[e.J][k]
+		}
+		d := pred - e.V
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(p.Entries)))
+}
+
+// ccdUpdateEntry applies one SGD-flavored coordinate update for an entry.
+func ccdUpdateEntry(m *MFModel, e MFEntry, lr, l2 float64) {
+	pred := 0.0
+	for k := 0; k < m.Rank; k++ {
+		pred += m.U[e.I][k] * m.V[e.J][k]
+	}
+	err := pred - e.V
+	for k := 0; k < m.Rank; k++ {
+		uk, vk := m.U[e.I][k], m.V[e.J][k]
+		m.U[e.I][k] = uk - lr*(err*vk+l2*uk)
+		m.V[e.J][k] = vk - lr*(err*uk+l2*vk)
+	}
+}
+
+// RunCCD factorizes under the Rotation model: rows and columns are split
+// into P blocks; in sub-epoch t, worker w owns the (w, (w+t) mod P) block
+// of the rating matrix, so no two workers ever touch the same U row or V
+// column — the lock-free disjointness that model rotation buys (§III-A).
+// workers=1 is the serial baseline. Returns the RMSE trace per epoch.
+func RunCCD(p *MFProblem, workers, epochs int, lr float64, seed uint64) (*MFModel, []float64, error) {
+	if workers < 1 || epochs < 1 {
+		return nil, nil, fmt.Errorf("parallel: invalid CCD config workers=%d epochs=%d", workers, epochs)
+	}
+	rng := xrand.New(seed)
+	model := NewMFModel(p, rng)
+	// Pre-bucket entries by (rowBlock, colBlock).
+	blockOfRow := func(i int) int { return i * workers / p.Rows }
+	blockOfCol := func(j int) int { return j * workers / p.Cols }
+	buckets := make([][][]MFEntry, workers)
+	for a := range buckets {
+		buckets[a] = make([][]MFEntry, workers)
+	}
+	for _, e := range p.Entries {
+		a, b := blockOfRow(e.I), blockOfCol(e.J)
+		buckets[a][b] = append(buckets[a][b], e)
+	}
+	barrier := NewBarrier(workers)
+	history := make([]float64, 0, epochs)
+	var histMu sync.Mutex
+	var wg sync.WaitGroup
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for ep := 0; ep < epochs; ep++ {
+				for t := 0; t < workers; t++ {
+					colBlock := (rank + t) % workers
+					for _, e := range buckets[rank][colBlock] {
+						ccdUpdateEntry(model, e, lr, p.L2)
+					}
+					barrier.Wait()
+				}
+				if rank == 0 {
+					histMu.Lock()
+					history = append(history, p.RMSE(model))
+					histMu.Unlock()
+				}
+				barrier.Wait()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	return model, history, nil
+}

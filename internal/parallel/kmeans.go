@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// KMeansResult carries the outcome of a clustering run.
+type KMeansResult struct {
+	Centroids *tensor.Matrix
+	// SSEHistory is the within-cluster sum of squared errors per iteration.
+	SSEHistory []float64
+	Iterations int
+}
+
+// KMeans runs Lloyd's algorithm with the Allreduce computation model:
+// every worker assigns its shard of points to the nearest centroid and
+// accumulates local (sum, count) statistics, the collective sums them, and
+// all replicas recompute identical centroids (the EM-category kernel of
+// §III-A). workers=1 degenerates to the serial algorithm.
+func KMeans(points *tensor.Matrix, k, iters, workers int, useRing bool, seed uint64) (*KMeansResult, error) {
+	if k < 1 || k > points.Rows {
+		return nil, fmt.Errorf("parallel: k=%d invalid for %d points", k, points.Rows)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("parallel: workers=%d", workers)
+	}
+	dim := points.Cols
+	rng := xrand.New(seed)
+	// k-means++-style seeding (first centroid uniform, rest by squared
+	// distance weighting) for stable convergence.
+	centroids := tensor.NewMatrix(k, dim)
+	first := rng.Intn(points.Rows)
+	copy(centroids.Row(0), points.Row(first))
+	minD2 := make([]float64, points.Rows)
+	for i := range minD2 {
+		minD2[i] = dist2(points.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		idx := rng.Categorical(minD2)
+		copy(centroids.Row(c), points.Row(idx))
+		for i := range minD2 {
+			if d := dist2(points.Row(i), centroids.Row(c)); d < minD2[i] {
+				minD2[i] = d
+			}
+		}
+	}
+
+	// stats vector layout: k*(dim+1) floats: per-cluster coordinate sums
+	// then per-cluster counts.
+	statLen := k * (dim + 1)
+	var central *CentralAllreducer
+	var ring *RingAllreducer
+	if workers > 1 {
+		if useRing {
+			ring = NewRingAllreducer(workers)
+		} else {
+			central = NewCentralAllreducer(workers, statLen)
+		}
+	}
+	barrier := NewBarrier(workers)
+	res := &KMeansResult{Iterations: iters}
+	replicas := make([]*tensor.Matrix, workers)
+	for r := range replicas {
+		replicas[r] = centroids.Clone()
+	}
+	sseParts := make([]float64, workers)
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			lo := rank * points.Rows / workers
+			hi := (rank + 1) * points.Rows / workers
+			mine := replicas[rank]
+			stats := make([]float64, statLen)
+			for it := 0; it < iters; it++ {
+				for j := range stats {
+					stats[j] = 0
+				}
+				sse := 0.0
+				for i := lo; i < hi; i++ {
+					row := points.Row(i)
+					best, bestD := 0, math.Inf(1)
+					for c := 0; c < k; c++ {
+						if d := dist2(row, mine.Row(c)); d < bestD {
+							best, bestD = c, d
+						}
+					}
+					sse += bestD
+					base := best * dim
+					for j, v := range row {
+						stats[base+j] += v
+					}
+					stats[k*dim+best]++
+				}
+				sseParts[rank] = sse
+				if workers > 1 {
+					if useRing {
+						ring.Allreduce(rank, stats)
+					} else {
+						central.Allreduce(stats)
+					}
+				}
+				for c := 0; c < k; c++ {
+					cnt := stats[k*dim+c]
+					if cnt == 0 {
+						continue // keep the old centroid for empty clusters
+					}
+					dst := mine.Row(c)
+					for j := 0; j < dim; j++ {
+						dst[j] = stats[c*dim+j] / cnt
+					}
+				}
+				barrier.Wait()
+				if rank == 0 {
+					total := 0.0
+					for _, s := range sseParts {
+						total += s
+					}
+					res.SSEHistory = append(res.SSEHistory, total)
+				}
+				barrier.Wait()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	res.Centroids = replicas[0]
+	// Consistency invariant: all replicas converged to identical models.
+	for r := 1; r < workers; r++ {
+		if !tensor.Equal(replicas[0], replicas[r], 1e-9) {
+			return nil, fmt.Errorf("parallel: kmeans replica %d diverged", r)
+		}
+	}
+	return res, nil
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// GaussianBlobs samples n points from k well-separated Gaussian clusters;
+// returns the points and the true centers.
+func GaussianBlobs(n, k, dim int, spread float64, rng *xrand.Rand) (*tensor.Matrix, *tensor.Matrix) {
+	centers := tensor.NewMatrix(k, dim)
+	for c := 0; c < k; c++ {
+		for j := 0; j < dim; j++ {
+			centers.Set(c, j, rng.Range(-10, 10))
+		}
+	}
+	pts := tensor.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		c := i % k
+		for j := 0; j < dim; j++ {
+			pts.Set(i, j, centers.At(c, j)+rng.Normal(0, spread))
+		}
+	}
+	return pts, centers
+}

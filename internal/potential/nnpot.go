@@ -1,0 +1,328 @@
+package potential
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// NNPotential is a Behler–Parrinello neural network potential: one shared
+// atomic network maps each atom's symmetry-function descriptor to an
+// atomic energy contribution, and the configuration energy is the sum of
+// atomic contributions ("represent the total energy as a sum of atomic
+// contributions", §II-C2).
+type NNPotential struct {
+	SF     *SymmetryFunctions
+	Hidden []int
+	Epochs int
+	LR     float64
+
+	rng       *xrand.Rand
+	net       *nn.Network
+	featMean  []float64
+	featStd   []float64
+	eShift    float64 // mean per-atom energy in training data
+	eScale    float64 // std of per-atom energies
+	trained   bool
+	trainSeen int
+}
+
+// NewNNPotential constructs an untrained potential.
+func NewNNPotential(sf *SymmetryFunctions, hidden []int, rng *xrand.Rand) *NNPotential {
+	return &NNPotential{SF: sf, Hidden: hidden, Epochs: 150, LR: 3e-3, rng: rng}
+}
+
+// Trained reports whether Fit has succeeded.
+func (p *NNPotential) Trained() bool { return p.trained }
+
+// TrainingSetSize returns the number of configurations last fitted.
+func (p *NNPotential) TrainingSetSize() int { return p.trainSeen }
+
+// Fit trains the atomic network so that summed atomic energies match the
+// provided total energies. Each configuration is one training unit; the
+// per-atom gradient is the standard sum-pooled MSE gradient.
+func (p *NNPotential) Fit(configs []*Configuration, energies []float64) error {
+	if len(configs) == 0 {
+		return errors.New("potential: empty training set")
+	}
+	if len(configs) != len(energies) {
+		return fmt.Errorf("potential: %d configs vs %d energies", len(configs), len(energies))
+	}
+	// Descriptor statistics over all atoms of all configurations.
+	dim := p.SF.Dim()
+	feats := make([][][]float64, len(configs))
+	var wf []stats.Welford
+	wf = make([]stats.Welford, dim)
+	for ci, c := range configs {
+		feats[ci] = p.SF.Compute(c)
+		for _, row := range feats[ci] {
+			for k, v := range row {
+				wf[k].Add(v)
+			}
+		}
+	}
+	p.featMean = make([]float64, dim)
+	p.featStd = make([]float64, dim)
+	for k := range wf {
+		p.featMean[k] = wf[k].Mean()
+		sd := wf[k].StdDev()
+		if math.IsNaN(sd) || sd < 1e-12 {
+			sd = 1
+		}
+		p.featStd[k] = sd
+	}
+	// Per-atom energy normalization.
+	perAtom := make([]float64, len(configs))
+	for i, c := range configs {
+		perAtom[i] = energies[i] / float64(c.NAtoms())
+	}
+	p.eShift = stats.Mean(perAtom)
+	p.eScale = stats.StdDev(perAtom)
+	if math.IsNaN(p.eScale) || p.eScale < 1e-12 {
+		p.eScale = 1
+	}
+
+	widths := append([]int{dim}, append(append([]int(nil), p.Hidden...), 1)...)
+	p.net = nn.NewMLP(p.rng.Split(), nn.Tanh, 0, widths...)
+	opt := nn.NewAdam(p.LR)
+	order := make([]int, len(configs))
+	for i := range order {
+		order[i] = i
+	}
+	shuffleRng := p.rng.Split()
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ci := range order {
+			x := p.scaledFeatures(feats[ci])
+			target := (perAtom[ci] - p.eShift) / p.eScale
+			p.net.ZeroGrad()
+			out := p.net.Forward(x, true)
+			// Predicted normalized per-atom energy is the mean output.
+			mean := 0.0
+			for i := 0; i < out.Rows; i++ {
+				mean += out.At(i, 0)
+			}
+			mean /= float64(out.Rows)
+			if math.IsNaN(mean) || math.IsInf(mean, 0) {
+				return nn.ErrDiverged
+			}
+			grad := tensor.NewMatrix(out.Rows, 1)
+			g := 2 * (mean - target) / float64(out.Rows)
+			for i := 0; i < out.Rows; i++ {
+				grad.Set(i, 0, g)
+			}
+			p.net.Backward(grad)
+			opt.Step(p.net.Params())
+		}
+	}
+	p.trained = true
+	p.trainSeen = len(configs)
+	return nil
+}
+
+func (p *NNPotential) scaledFeatures(rows [][]float64) *tensor.Matrix {
+	x := tensor.NewMatrix(len(rows), p.SF.Dim())
+	for i, row := range rows {
+		for k, v := range row {
+			x.Set(i, k, (v-p.featMean[k])/p.featStd[k])
+		}
+	}
+	return x
+}
+
+// PredictEnergy returns the learned total energy of a configuration.
+func (p *NNPotential) PredictEnergy(c *Configuration) float64 {
+	if !p.trained {
+		panic("potential: PredictEnergy before Fit")
+	}
+	x := p.scaledFeatures(p.SF.Compute(c))
+	out := p.net.PredictBatch(x)
+	mean := 0.0
+	for i := 0; i < out.Rows; i++ {
+		mean += out.At(i, 0)
+	}
+	mean /= float64(out.Rows)
+	return (mean*p.eScale + p.eShift) * float64(c.NAtoms())
+}
+
+// MAE evaluates the potential against reference energies.
+func (p *NNPotential) MAE(configs []*Configuration, energies []float64) float64 {
+	pred := make([]float64, len(configs))
+	for i, c := range configs {
+		pred[i] = p.PredictEnergy(c)
+	}
+	return stats.MAE(pred, energies)
+}
+
+// Committee is an ensemble of NN potentials whose disagreement provides
+// the uncertainty signal driving active learning (query-by-committee).
+type Committee struct {
+	Members []*NNPotential
+}
+
+// NewCommittee builds size independently seeded potentials.
+func NewCommittee(size int, sf *SymmetryFunctions, hidden []int, rng *xrand.Rand) *Committee {
+	com := &Committee{}
+	for i := 0; i < size; i++ {
+		com.Members = append(com.Members, NewNNPotential(sf, hidden, rng.Split()))
+	}
+	return com
+}
+
+// Fit trains every member on the same data.
+func (c *Committee) Fit(configs []*Configuration, energies []float64) error {
+	for i, m := range c.Members {
+		if err := m.Fit(configs, energies); err != nil {
+			return fmt.Errorf("potential: committee member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Predict returns the committee mean and standard deviation of the total
+// energy.
+func (c *Committee) Predict(conf *Configuration) (mean, std float64) {
+	var w stats.Welford
+	for _, m := range c.Members {
+		w.Add(m.PredictEnergy(conf))
+	}
+	sd := w.StdDev()
+	if math.IsNaN(sd) {
+		sd = 0
+	}
+	return w.Mean(), sd
+}
+
+// MAE evaluates the committee mean prediction.
+func (c *Committee) MAE(configs []*Configuration, energies []float64) float64 {
+	pred := make([]float64, len(configs))
+	for i, conf := range configs {
+		pred[i], _ = c.Predict(conf)
+	}
+	return stats.MAE(pred, energies)
+}
+
+// ALRound is one active-learning iteration record.
+type ALRound struct {
+	Samples int
+	TestMAE float64
+}
+
+// ALStrategy selects acquisition behaviour.
+type ALStrategy int
+
+// Active-learning strategies.
+const (
+	ALRandom ALStrategy = iota
+	ALCommitteeVariance
+)
+
+// String returns the strategy name.
+func (s ALStrategy) String() string {
+	if s == ALCommitteeVariance {
+		return "committee-variance"
+	}
+	return "random"
+}
+
+// ActiveLearnConfig parameterizes ActiveLearn.
+type ActiveLearnConfig struct {
+	Strategy       ALStrategy
+	CommitteeSize  int
+	Hidden         []int
+	InitialSamples int
+	BatchSize      int
+	MaxSamples     int
+	Seed           uint64
+}
+
+// ActiveLearn runs pool-based active learning of the reference oracle,
+// returning the learning curve. It reproduces the §II-C2 claim that
+// uncertainty-driven acquisition reaches target accuracy with a fraction
+// of the data random acquisition needs (experiment E6).
+func ActiveLearn(oracle *AbInitio, sf *SymmetryFunctions, pool []*Configuration,
+	testConfigs []*Configuration, testEnergies []float64, cfg ActiveLearnConfig) ([]ALRound, error) {
+	if cfg.CommitteeSize < 1 {
+		cfg.CommitteeSize = 3
+	}
+	if cfg.InitialSamples < 1 || cfg.InitialSamples > len(pool) {
+		return nil, fmt.Errorf("potential: initial samples %d invalid for pool %d", cfg.InitialSamples, len(pool))
+	}
+	rng := xrand.New(cfg.Seed + 0xA1)
+	order := rng.Perm(len(pool))
+	var train []*Configuration
+	var trainE []float64
+	take := func(idx []int) {
+		for _, id := range idx {
+			train = append(train, pool[id])
+			trainE = append(trainE, oracle.Energy(pool[id]))
+		}
+	}
+	take(order[:cfg.InitialSamples])
+	available := order[cfg.InitialSamples:]
+
+	var curve []ALRound
+	for {
+		com := NewCommittee(cfg.CommitteeSize, sf, cfg.Hidden, rng.Split())
+		if err := com.Fit(train, trainE); err != nil {
+			return curve, err
+		}
+		curve = append(curve, ALRound{Samples: len(train), TestMAE: com.MAE(testConfigs, testEnergies)})
+		if len(train) >= cfg.MaxSamples || len(available) == 0 {
+			return curve, nil
+		}
+		batch := cfg.BatchSize
+		if batch <= 0 {
+			batch = 10
+		}
+		if batch > len(available) {
+			batch = len(available)
+		}
+		var chosen []int
+		if cfg.Strategy == ALCommitteeVariance {
+			type cand struct {
+				pos int
+				unc float64
+			}
+			cands := make([]cand, len(available))
+			for i, id := range available {
+				_, sd := com.Predict(pool[id])
+				cands[i] = cand{pos: i, unc: sd}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].unc > cands[j].unc })
+			taken := map[int]bool{}
+			for _, cd := range cands[:batch] {
+				chosen = append(chosen, available[cd.pos])
+				taken[cd.pos] = true
+			}
+			var rest []int
+			for i, id := range available {
+				if !taken[i] {
+					rest = append(rest, id)
+				}
+			}
+			available = rest
+		} else {
+			chosen = append(chosen, available[:batch]...)
+			available = available[batch:]
+		}
+		take(chosen)
+	}
+}
+
+// SamplesToReachMAE returns the first training-set size achieving the
+// target MAE, or -1.
+func SamplesToReachMAE(curve []ALRound, target float64) int {
+	for _, r := range curve {
+		if r.TestMAE <= target {
+			return r.Samples
+		}
+	}
+	return -1
+}

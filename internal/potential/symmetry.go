@@ -1,0 +1,126 @@
+package potential
+
+import "math"
+
+// SymmetryFunctions computes Behler–Parrinello atom-centered descriptors:
+// rotation-, translation- and permutation-invariant fingerprints of each
+// atom's chemical environment (§II-C2: "appropriate symmetry functions
+// that are rotation and translation invariant as well as invariant to
+// exchange of atoms").
+type SymmetryFunctions struct {
+	// Cutoff is the environment radius Rc.
+	Cutoff float64
+	// RadialEtas and RadialShifts parameterize the G2 radial set; one
+	// feature per (eta, shift) pair (paired element-wise).
+	RadialEtas   []float64
+	RadialShifts []float64
+	// AngularZetas and AngularLambdas parameterize the G4 angular set
+	// (paired element-wise), all sharing AngularEta.
+	AngularZetas   []float64
+	AngularLambdas []float64
+	AngularEta     float64
+}
+
+// DefaultSymmetryFunctions returns a compact descriptor set adequate for
+// the small clusters used in the reproduction.
+func DefaultSymmetryFunctions() *SymmetryFunctions {
+	return &SymmetryFunctions{
+		Cutoff:         4.0,
+		RadialEtas:     []float64{0.5, 0.5, 1.0, 2.0, 4.0},
+		RadialShifts:   []float64{1.0, 2.0, 1.5, 1.2, 1.0},
+		AngularZetas:   []float64{1, 2, 4},
+		AngularLambdas: []float64{1, -1, 1},
+		AngularEta:     0.2,
+	}
+}
+
+// Dim returns the descriptor length per atom.
+func (sf *SymmetryFunctions) Dim() int {
+	return len(sf.RadialEtas) + len(sf.AngularZetas)
+}
+
+// ipow computes x^zeta cheaply for the small integer zetas used by the
+// angular set (math.Pow dominates descriptor cost otherwise).
+func ipow(x, zeta float64) float64 {
+	switch zeta {
+	case 1:
+		return x
+	case 2:
+		return x * x
+	case 4:
+		x *= x
+		return x * x
+	default:
+		return math.Pow(x, zeta)
+	}
+}
+
+// cutoffFn is the Behler cosine cutoff: smooth, zero at and beyond Rc.
+func (sf *SymmetryFunctions) cutoffFn(r float64) float64 {
+	if r >= sf.Cutoff {
+		return 0
+	}
+	return 0.5 * (math.Cos(math.Pi*r/sf.Cutoff) + 1)
+}
+
+// Compute returns the NAtoms x Dim descriptor matrix of a configuration
+// as a row-per-atom slice.
+func (sf *SymmetryFunctions) Compute(c *Configuration) [][]float64 {
+	n := c.NAtoms()
+	out := make([][]float64, n)
+	nr := len(sf.RadialEtas)
+	for i := 0; i < n; i++ {
+		feat := make([]float64, sf.Dim())
+		// G2 radial features.
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			r := c.dist(i, j)
+			fc := sf.cutoffFn(r)
+			if fc == 0 {
+				continue
+			}
+			for k := range sf.RadialEtas {
+				d := r - sf.RadialShifts[k]
+				feat[k] += math.Exp(-sf.RadialEtas[k]*d*d) * fc
+			}
+		}
+		// G4 angular features.
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			rij := c.dist(i, j)
+			fcij := sf.cutoffFn(rij)
+			if fcij == 0 {
+				continue
+			}
+			for k := j + 1; k < n; k++ {
+				if k == i {
+					continue
+				}
+				rik := c.dist(i, k)
+				fcik := sf.cutoffFn(rik)
+				if fcik == 0 {
+					continue
+				}
+				rjk := c.dist(j, k)
+				fcjk := sf.cutoffFn(rjk)
+				cosTheta := cosAngle(rij, rik, rjk)
+				expTerm := math.Exp(-sf.AngularEta * (rij*rij + rik*rik + rjk*rjk))
+				for a := range sf.AngularZetas {
+					zeta := sf.AngularZetas[a]
+					lambda := sf.AngularLambdas[a]
+					base := 1 + lambda*cosTheta
+					if base < 0 {
+						base = 0
+					}
+					feat[nr+a] += math.Pow(2, 1-zeta) * ipow(base, zeta) * expTerm * fcij * fcik * fcjk
+				}
+			}
+		}
+		out[i] = feat
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func countingTasks(n int, class Class, counter *int64) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Class: class, Run: func() { atomic.AddInt64(counter, 1) }}
+	}
+	return tasks
+}
+
+func TestClassStrings(t *testing.T) {
+	if Simulation.String() != "simulation" || Training.String() != "training" || Inference.String() != "inference" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestRunStaticExecutesAllTasks(t *testing.T) {
+	var n int64
+	res, err := RunStatic(countingTasks(37, Simulation, &n), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 37 {
+		t.Fatalf("executed %d tasks want 37", n)
+	}
+	if res.TotalTasks() != 37 {
+		t.Fatalf("counted %d tasks want 37", res.TotalTasks())
+	}
+	// Round-robin: worker counts differ by at most 1.
+	minC, maxC := res.TaskCount[0], res.TaskCount[0]
+	for _, c := range res.TaskCount {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC-minC > 1 {
+		t.Fatalf("static round-robin counts uneven: %v", res.TaskCount)
+	}
+}
+
+func TestRunDynamicExecutesAllTasks(t *testing.T) {
+	var n int64
+	res, err := RunDynamic(countingTasks(53, Inference, &n), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 53 || res.TotalTasks() != 53 {
+		t.Fatalf("task conservation broken: %d / %d", n, res.TotalTasks())
+	}
+}
+
+func TestRunSplitByClassExecutesAllTasks(t *testing.T) {
+	var n int64
+	tasks := append(countingTasks(20, Simulation, &n), countingTasks(30, Inference, &n)...)
+	res, err := RunSplitByClass(tasks, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || res.TotalTasks() != 50 {
+		t.Fatalf("task conservation broken: %d / %d", n, res.TotalTasks())
+	}
+}
+
+func TestRunSplitByClassTooFewWorkers(t *testing.T) {
+	var n int64
+	tasks := append(countingTasks(2, Simulation, &n), countingTasks(2, Inference, &n)...)
+	tasks = append(tasks, countingTasks(2, Training, &n)...)
+	if _, err := RunSplitByClass(tasks, 2); err == nil {
+		t.Fatal("3 classes on 2 workers accepted")
+	}
+}
+
+func TestInvalidWorkerCounts(t *testing.T) {
+	var n int64
+	tasks := countingTasks(3, Simulation, &n)
+	if _, err := RunStatic(tasks, 0); err == nil {
+		t.Fatal("static 0 workers accepted")
+	}
+	if _, err := RunDynamic(tasks, 0); err == nil {
+		t.Fatal("dynamic 0 workers accepted")
+	}
+	if _, err := RunSplitByClass(tasks, 0); err == nil {
+		t.Fatal("split 0 workers accepted")
+	}
+}
+
+func TestDynamicBeatsStaticOnHeterogeneousMix(t *testing.T) {
+	// Heterogeneous workload: a few expensive sims + many cheap inferences.
+	// Static round-robin strands expensive tasks unevenly; the dynamic
+	// queue balances busy time. Compare imbalance metrics.
+	mk := func() []Task { return MixedWorkload(8, 200, 2_000_000, 2_000) }
+	static, err := RunStatic(mk(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := RunDynamic(mk(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.Imbalance() >= static.Imbalance() {
+		// Timing noise could flip this on rare runs; require a margin
+		// before declaring failure.
+		if dynamic.Imbalance() > static.Imbalance()*0.8+0.05 {
+			t.Fatalf("dynamic imbalance %.3f not clearly below static %.3f",
+				dynamic.Imbalance(), static.Imbalance())
+		}
+	}
+	if dynamic.Utilization() <= 0 || dynamic.Utilization() > 1.01 {
+		t.Fatalf("utilization %g out of range", dynamic.Utilization())
+	}
+}
+
+func TestImbalanceValues(t *testing.T) {
+	r := &Result{BusyTime: []time.Duration{100, 100, 100}}
+	if r.Imbalance() != 0 {
+		t.Fatalf("balanced imbalance %g", r.Imbalance())
+	}
+	r = &Result{BusyTime: []time.Duration{0, 200}}
+	if r.Imbalance() != 2 {
+		t.Fatalf("imbalance %g want 2", r.Imbalance())
+	}
+	empty := &Result{}
+	if empty.Imbalance() != 0 || empty.Utilization() != 0 {
+		t.Fatal("empty result metrics should be 0")
+	}
+}
+
+func TestSpinTaskRuns(t *testing.T) {
+	task := SpinTask(1, Training, 1000)
+	if task.Class != Training || task.ID != 1 {
+		t.Fatal("task metadata wrong")
+	}
+	task.Run() // must not panic
+}
+
+func TestMixedWorkloadComposition(t *testing.T) {
+	tasks := MixedWorkload(3, 7, 10, 10)
+	if len(tasks) != 10 {
+		t.Fatalf("%d tasks want 10", len(tasks))
+	}
+	sims, infs := 0, 0
+	for _, task := range tasks {
+		switch task.Class {
+		case Simulation:
+			sims++
+		case Inference:
+			infs++
+		}
+	}
+	if sims != 3 || infs != 7 {
+		t.Fatalf("composition %d/%d want 3/7", sims, infs)
+	}
+}

@@ -1,0 +1,311 @@
+// Package tensor implements the dense linear algebra needed by the neural
+// network surrogates: row-major matrices, BLAS-1 vector kernels, and a
+// cache-blocked, goroutine-parallel matrix multiply. It is deliberately
+// small — the paper's surrogate networks are MLPs with tens of hidden
+// units — but the matmul parallelism mirrors the HPCforML kernels the
+// paper discusses in §III-A.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic("tensor: row index out of range")
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets all elements to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add stores a+b into dst (all same shape) and returns dst. dst may alias
+// a or b. If dst is nil a new matrix is allocated.
+func Add(dst, a, b *Matrix) *Matrix {
+	sameShape(a, b)
+	dst = ensure(dst, a.Rows, a.Cols)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return dst
+}
+
+// Sub stores a-b into dst and returns dst.
+func Sub(dst, a, b *Matrix) *Matrix {
+	sameShape(a, b)
+	dst = ensure(dst, a.Rows, a.Cols)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return dst
+}
+
+// Hadamard stores the element-wise product a*b into dst and returns dst.
+func Hadamard(dst, a, b *Matrix) *Matrix {
+	sameShape(a, b)
+	dst = ensure(dst, a.Rows, a.Cols)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return dst
+}
+
+// Scale stores s*a into dst and returns dst.
+func Scale(dst *Matrix, s float64, a *Matrix) *Matrix {
+	dst = ensure(dst, a.Rows, a.Cols)
+	for i := range a.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+	return dst
+}
+
+// Apply stores f(a[i]) into dst element-wise and returns dst.
+func Apply(dst, a *Matrix, f func(float64) float64) *Matrix {
+	dst = ensure(dst, a.Rows, a.Cols)
+	for i := range a.Data {
+		dst.Data[i] = f(a.Data[i])
+	}
+	return dst
+}
+
+// MatMul returns a*b using a cache-blocked ikj kernel. For matrices with
+// enough rows it shards row blocks across GOMAXPROCS goroutines.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	workers := runtime.GOMAXPROCS(0)
+	// Parallelism only pays off for non-trivial row counts.
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if a.Rows*a.Cols*b.Cols < 32*32*32 || workers <= 1 {
+		matMulRange(out, a, b, 0, a.Rows)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matMulRange computes rows [lo,hi) of out = a*b with an ikj loop order
+// that streams b rows sequentially for cache friendliness.
+func matMulRange(out, a, b *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		outRow := out.Data[i*p : (i+1)*p]
+		aRow := a.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := aRow[k]
+			if aik == 0 {
+				continue
+			}
+			bRow := b.Data[k*p : (k+1)*p]
+			for j, bv := range bRow {
+				outRow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// MulVec returns a * x for a column vector x (len == a.Cols).
+func MulVec(a *Matrix, x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic("tensor: mulvec shape mismatch")
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element of x.
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func FrobeniusNorm(m *Matrix) float64 { return Norm2(m.Data) }
+
+// Equal reports whether two matrices have the same shape and all elements
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether the matrix contains any NaN or Inf element; used
+// as a guard in training loops (failure injection surfaces here).
+func HasNaN(m *Matrix) bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameShape(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func ensure(dst *Matrix, rows, cols int) *Matrix {
+	if dst == nil {
+		return NewMatrix(rows, cols)
+	}
+	if dst.Rows != rows || dst.Cols != cols {
+		panic("tensor: destination shape mismatch")
+	}
+	return dst
+}

@@ -1,0 +1,182 @@
+package tissue
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Cell is one biological-cell agent on the grid (§II-B: "VT simulations
+// are agent-based, with the core agent often representing biological
+// cells").
+type Cell struct {
+	I, J   int
+	Energy float64
+	Alive  bool
+}
+
+// CellParams govern agent behaviour.
+type CellParams struct {
+	// UptakeRate is how much field concentration a cell consumes per agent
+	// step (converted to energy).
+	UptakeRate float64
+	// Metabolism is the per-step energy cost of staying alive.
+	Metabolism float64
+	// DivideEnergy triggers division above this energy.
+	DivideEnergy float64
+	// StarveEnergy kills the cell below this energy.
+	StarveEnergy float64
+	// SecretionRate is how much chemical each cell adds to the source term
+	// (models signaling; may be 0).
+	SecretionRate float64
+}
+
+// DefaultCellParams returns a viable parameterization.
+func DefaultCellParams() CellParams {
+	return CellParams{
+		UptakeRate: 0.5, Metabolism: 0.05, DivideEnergy: 2.0,
+		StarveEnergy: 0.0, SecretionRate: 0,
+	}
+}
+
+// Tissue couples the cell agents with the chemical field through a
+// pluggable transport stepper — the seam where the ML short-circuit
+// replaces the explicit solver.
+type Tissue struct {
+	Field  *Field
+	Cells  []Cell
+	CP     CellParams
+	Solver *Solver
+	// MicroStepsPerAgentStep is K: how many transport micro-steps elapse
+	// per agent update.
+	MicroStepsPerAgentStep int
+	// Stepper advances the field K micro-steps; defaults to the explicit
+	// solver. Swapping in a learned MacroStepper is the E9 experiment.
+	Stepper MacroStepper
+	rng     *xrand.Rand
+}
+
+// MacroStepper advances a field by K micro-steps of the PDE.
+type MacroStepper interface {
+	Advance(f *Field, k int)
+	Name() string
+}
+
+// ExplicitStepper is the reference stepper: K explicit solver steps.
+type ExplicitStepper struct{ S *Solver }
+
+// Name implements MacroStepper.
+func (e ExplicitStepper) Name() string { return "explicit" }
+
+// Advance implements MacroStepper.
+func (e ExplicitStepper) Advance(f *Field, k int) { e.S.Steps(f, k) }
+
+// NewTissue builds a tissue with nCells agents at random positions.
+func NewTissue(f *Field, sol *Solver, cp CellParams, nCells, microSteps int, seed uint64) (*Tissue, error) {
+	if nCells < 0 || nCells > f.NX*f.NY {
+		return nil, fmt.Errorf("tissue: %d cells will not fit a %dx%d grid", nCells, f.NX, f.NY)
+	}
+	if microSteps < 1 {
+		return nil, fmt.Errorf("tissue: micro steps %d < 1", microSteps)
+	}
+	rng := xrand.New(seed)
+	t := &Tissue{
+		Field: f, CP: cp, Solver: sol,
+		MicroStepsPerAgentStep: microSteps,
+		Stepper:                ExplicitStepper{S: sol},
+		rng:                    rng,
+	}
+	occupied := map[int]bool{}
+	for len(t.Cells) < nCells {
+		i, j := rng.Intn(f.NX), rng.Intn(f.NY)
+		key := j*f.NX + i
+		if occupied[key] {
+			continue
+		}
+		occupied[key] = true
+		t.Cells = append(t.Cells, Cell{I: i, J: j, Energy: 1, Alive: true})
+	}
+	return t, nil
+}
+
+// AliveCount returns the number of living cells.
+func (t *Tissue) AliveCount() int {
+	n := 0
+	for _, c := range t.Cells {
+		if c.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Step advances one agent step: transport (K micro-steps via the active
+// stepper), then uptake/metabolism/division/death.
+func (t *Tissue) Step() {
+	// Update the source term from secreting cells.
+	if t.CP.SecretionRate > 0 {
+		if t.Solver.Source == nil {
+			t.Solver.Source = make([]float64, len(t.Field.U))
+		}
+		for i := range t.Solver.Source {
+			t.Solver.Source[i] = 0
+		}
+		for _, c := range t.Cells {
+			if c.Alive {
+				t.Solver.Source[t.Field.idx(c.I, c.J)] += t.CP.SecretionRate
+			}
+		}
+	}
+	t.Stepper.Advance(t.Field, t.MicroStepsPerAgentStep)
+
+	occupied := map[int]bool{}
+	for _, c := range t.Cells {
+		if c.Alive {
+			occupied[t.Field.idx(c.I, c.J)] = true
+		}
+	}
+	var born []Cell
+	for ci := range t.Cells {
+		c := &t.Cells[ci]
+		if !c.Alive {
+			continue
+		}
+		// Uptake: consume local concentration.
+		avail := t.Field.At(c.I, c.J)
+		take := t.CP.UptakeRate
+		if take > avail {
+			take = avail
+		}
+		t.Field.Set(c.I, c.J, avail-take)
+		c.Energy += take - t.CP.Metabolism
+		if c.Energy <= t.CP.StarveEnergy {
+			c.Alive = false
+			occupied[t.Field.idx(c.I, c.J)] = false
+			continue
+		}
+		if c.Energy >= t.CP.DivideEnergy {
+			// Divide into a random free von Neumann neighbor.
+			dirs := [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+			t.rng.Shuffle(len(dirs), func(i, j int) { dirs[i], dirs[j] = dirs[j], dirs[i] })
+			for _, d := range dirs {
+				ni := ((c.I+d[0])%t.Field.NX + t.Field.NX) % t.Field.NX
+				nj := ((c.J+d[1])%t.Field.NY + t.Field.NY) % t.Field.NY
+				key := t.Field.idx(ni, nj)
+				if !occupied[key] {
+					c.Energy /= 2
+					born = append(born, Cell{I: ni, J: nj, Energy: c.Energy, Alive: true})
+					occupied[key] = true
+					break
+				}
+			}
+		}
+	}
+	t.Cells = append(t.Cells, born...)
+}
+
+// Steps advances n agent steps.
+func (t *Tissue) Steps(n int) {
+	for i := 0; i < n; i++ {
+		t.Step()
+	}
+}

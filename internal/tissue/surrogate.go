@@ -1,0 +1,186 @@
+package tissue
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// LearnedStencil is the ML short-circuit of the transport loop: a model
+// that maps a 5x5 neighborhood of the 2× coarse field directly to the
+// coarse value K micro-steps later, replacing K explicit fine-grid sweeps
+// with a single learned sweep on a quarter of the nodes. For the linear
+// PDE the learned propagator can be nearly exact; the NN variant (one
+// hidden layer) also absorbs the mild nonlinearity of the decay+source
+// coupling. This is experiment E9's surrogate.
+type LearnedStencil struct {
+	// K is the number of micro-steps the stencil jumps.
+	K int
+	// Patch is the neighborhood half-width (1 → 3x3, 2 → 5x5).
+	Patch int
+	// Hidden, when non-zero, inserts a hidden tanh layer of that width.
+	Hidden int
+
+	net     *nn.Network
+	scaler  *nn.Scaler
+	trained bool
+	rng     *xrand.Rand
+}
+
+// NewLearnedStencil constructs an untrained stencil surrogate.
+func NewLearnedStencil(k, patch, hidden int, rng *xrand.Rand) *LearnedStencil {
+	if k < 1 || patch < 1 {
+		panic("tissue: invalid stencil configuration")
+	}
+	return &LearnedStencil{K: k, Patch: patch, Hidden: hidden, rng: rng}
+}
+
+// Name implements MacroStepper.
+func (ls *LearnedStencil) Name() string { return fmt.Sprintf("learned-stencil(K=%d)", ls.K) }
+
+func (ls *LearnedStencil) featDim() int {
+	w := 2*ls.Patch + 1
+	return w * w
+}
+
+// patchFeatures extracts the flattened neighborhood of (i,j).
+func (ls *LearnedStencil) patchFeatures(f *Field, i, j int, out []float64) {
+	k := 0
+	for dj := -ls.Patch; dj <= ls.Patch; dj++ {
+		for di := -ls.Patch; di <= ls.Patch; di++ {
+			out[k] = f.At(i+di, j+dj)
+			k++
+		}
+	}
+}
+
+// TrainConfig controls surrogate training data generation.
+type TrainConfig struct {
+	// Fields is how many random training fields to simulate.
+	Fields int
+	// SamplesPerField is how many (patch, future-value) pairs to harvest
+	// per training field.
+	SamplesPerField int
+	Epochs          int
+	LR              float64
+	Seed            uint64
+}
+
+// DefaultTrainConfig returns reproduction-scale settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Fields: 12, SamplesPerField: 400, Epochs: 120, LR: 5e-3, Seed: 3}
+}
+
+// Train learns the effective coarse-grain propagator of the FINE dynamics
+// — the paper's "systematic ML-based coarse-graining" (§I): random fine
+// fields are advanced K micro-steps by the explicit fine solver, and the
+// stencil is fit on (restricted before-patch → restricted after-value)
+// pairs. proto and fineSolver must describe the fine grid; the trained
+// stencil then operates on 2× restricted fields.
+func (ls *LearnedStencil) Train(proto *Field, fineSolver *Solver, tc TrainConfig) error {
+	if tc.Fields < 1 || tc.SamplesPerField < 1 {
+		return errors.New("tissue: empty stencil training plan")
+	}
+	rng := xrand.New(tc.Seed)
+	dim := ls.featDim()
+	var xRows, yRows [][]float64
+	for fi := 0; fi < tc.Fields; fi++ {
+		f := NewField(proto.NX, proto.NY, proto.H)
+		// Random superposition of bumps → diverse local patches.
+		nBumps := 1 + rng.Intn(4)
+		for b := 0; b < nBumps; b++ {
+			f.GaussianBump(rng.Float64()*float64(f.NX), rng.Float64()*float64(f.NY),
+				rng.Range(1, 4)*f.H, rng.Range(0.5, 2))
+		}
+		before := Restrict(f)
+		fineSolver.Steps(f, ls.K)
+		after := Restrict(f)
+		for s := 0; s < tc.SamplesPerField; s++ {
+			i, j := rng.Intn(after.NX), rng.Intn(after.NY)
+			row := make([]float64, dim)
+			ls.patchFeatures(before, i, j, row)
+			xRows = append(xRows, row)
+			yRows = append(yRows, []float64{after.At(i, j)})
+		}
+	}
+	x := tensor.FromRows(xRows)
+	y := tensor.FromRows(yRows)
+	ls.scaler = nn.FitScaler(x)
+	xs := ls.scaler.Transform(x)
+	widths := []int{dim, 1}
+	if ls.Hidden > 0 {
+		widths = []int{dim, ls.Hidden, 1}
+	}
+	ls.net = nn.NewMLP(ls.rng.Split(), nn.Tanh, 0, widths...)
+	if _, err := ls.net.Fit(xs, y, nn.TrainConfig{
+		Epochs: tc.Epochs, BatchSize: 64, Optimizer: nn.NewAdam(tc.LR), Seed: tc.Seed,
+	}); err != nil {
+		return fmt.Errorf("tissue: stencil training: %w", err)
+	}
+	ls.trained = true
+	return nil
+}
+
+// Advance implements MacroStepper: each call jumps the field K micro-steps
+// using one learned sweep. k must be a multiple of K.
+func (ls *LearnedStencil) Advance(f *Field, k int) {
+	if !ls.trained {
+		panic("tissue: LearnedStencil used before Train")
+	}
+	if k%ls.K != 0 {
+		panic(fmt.Sprintf("tissue: advance %d not a multiple of stencil K=%d", k, ls.K))
+	}
+	jumps := k / ls.K
+	dim := ls.featDim()
+	for jmp := 0; jmp < jumps; jmp++ {
+		// Batch all nodes through the network in one forward pass.
+		x := tensor.NewMatrix(f.NX*f.NY, dim)
+		row := make([]float64, dim)
+		for j := 0; j < f.NY; j++ {
+			for i := 0; i < f.NX; i++ {
+				ls.patchFeatures(f, i, j, row)
+				copy(x.Row(j*f.NX+i), ls.scaler.TransformVec(row))
+			}
+		}
+		out := ls.net.PredictBatch(x)
+		for idx := range f.U {
+			v := out.At(idx, 0)
+			if v < 0 {
+				v = 0 // concentrations cannot be negative
+			}
+			f.U[idx] = v
+		}
+	}
+}
+
+// ShortCircuitResult compares explicit and surrogate transport for E9.
+type ShortCircuitResult struct {
+	L2Error        float64 // field RMS error after the horizon
+	ExplicitSteps  int
+	SurrogateJumps int
+}
+
+// CompareShortCircuit runs the same initial field through K*jumps explicit
+// fine micro-steps and through the coarse learned stencil, returning the
+// coarse-grid L2 error. fineSolver must match the fine grid, the stencil
+// the coarse grid.
+func CompareShortCircuit(init *Field, fineSolver *Solver, ls *LearnedStencil, jumps int) (*ShortCircuitResult, error) {
+	if !ls.trained {
+		return nil, errors.New("tissue: stencil not trained")
+	}
+	explicit := init.Clone()
+	fineSolver.Steps(explicit, ls.K*jumps)
+	truthCoarse := Restrict(explicit)
+
+	coarse := Restrict(init)
+	ls.Advance(coarse, ls.K*jumps)
+
+	return &ShortCircuitResult{
+		L2Error:        L2Diff(truthCoarse, coarse),
+		ExplicitSteps:  ls.K * jumps,
+		SurrogateJumps: jumps,
+	}, nil
+}

@@ -1,0 +1,402 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded stream produced only %d distinct values", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling splits coincided %d/1000 times", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	mk := func() []uint64 {
+		p := New(9)
+		a := p.Split()
+		b := p.Split()
+		return []uint64{a.Uint64(), a.Uint64(), b.Uint64(), b.Uint64()}
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("split tree not reproducible at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(steps uint8) bool {
+		for i := 0; i < int(steps); i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(13)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(3, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("normal mean %.4f, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("normal variance %.4f, want ~4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exponential(2)
+		if x < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("exponential(2) mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(23)
+	for _, mean := range []float64{0.5, 4, 50} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			k := r.Poisson(mean)
+			if k < 0 {
+				t.Fatal("negative Poisson variate")
+			}
+			sum += k
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 4*math.Sqrt(mean/float64(n))+0.05 {
+			t.Fatalf("Poisson(%g) mean %.4f", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(29)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{20, 0.3}, {500, 0.1}, {1000, 0.9}} {
+		const trials = 20000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			k := r.Binomial(tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("Binomial(%d,%g)=%d out of range", tc.n, tc.p, k)
+			}
+			sum += k
+		}
+		mean := float64(sum) / trials
+		want := float64(tc.n) * tc.p
+		if math.Abs(mean-want) > 0.05*want+0.5 {
+			t.Fatalf("Binomial(%d,%g) mean %.3f want %.3f", tc.n, tc.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(31)
+	if r.Binomial(10, 0) != 0 {
+		t.Fatal("Binomial(n,0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(n,1) != n")
+	}
+	if r.Binomial(0, 0.5) != 0 {
+		t.Fatal("Binomial(0,p) != 0")
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(37)
+	for _, tc := range []struct{ shape, scale float64 }{{0.5, 1}, {2, 3}, {9, 0.5}} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := r.Gamma(tc.shape, tc.scale)
+			if x < 0 {
+				t.Fatal("negative gamma variate")
+			}
+			sum += x
+		}
+		mean := sum / n
+		want := tc.shape * tc.scale
+		if math.Abs(mean-want) > 0.05*want+0.02 {
+			t.Fatalf("Gamma(%g,%g) mean %.4f want %.4f", tc.shape, tc.scale, mean, want)
+		}
+	}
+}
+
+func TestBetaRange(t *testing.T) {
+	r := New(41)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := r.Beta(2, 5)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta variate %g out of [0,1]", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-2.0/7.0) > 0.01 {
+		t.Fatalf("Beta(2,5) mean %.4f want %.4f", mean, 2.0/7.0)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(43)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("category ratio %.3f, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for _, w := range [][]float64{nil, {}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(47)
+	if err := quick.Check(func(raw uint8) bool {
+		n := int(raw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(53)
+	s := r.SampleWithoutReplacement(10, 5)
+	if len(s) != 5 {
+		t.Fatalf("sample size %d, want 5", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid or duplicate sample %d", v)
+		}
+		seen[v] = true
+	}
+	if got := r.SampleWithoutReplacement(4, 0); got != nil {
+		t.Fatalf("k=0 sample should be nil, got %v", got)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized sample did not panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestRange(t *testing.T) {
+	r := New(59)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range value %g out of [-2,5)", v)
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(61)
+	xs := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset sum %d -> %d", sum, got)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(67)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) frequency %.4f", f)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}

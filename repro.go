@@ -1,0 +1,87 @@
+// Package repro is the public facade of the Learning Everywhere
+// reproduction (Fox et al., IPPS 2019): pervasive machine learning for
+// effective high-performance computation. It re-exports the core
+// MLaroundHPC framework — simulation Oracles, UQ-gated Surrogates, the
+// effective-performance ledger, active learning, autotuning and MLControl
+// — while the simulation substrates live in internal packages and are
+// exercised through the examples, the cmd/learnhpc experiment driver and
+// the top-level benchmarks.
+//
+// Quick start:
+//
+//	oracle := core.OracleFunc{In: 2, Out: 1, F: mySimulation}
+//	sur := repro.NewNNSurrogate(2, 1, []int{30, 48}, 0.1, rng)
+//	w := repro.NewWrapper(oracle, sur, repro.WrapperConfig{UQThreshold: 0.05})
+//	y, src, uq, err := w.Query(x) // simulation first, surrogate once trusted
+//	fmt.Println(w.Ledger().EffectiveSpeedup(1))
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Core framework types, re-exported.
+type (
+	// Oracle is a simulation: the expensive ground truth.
+	Oracle = core.Oracle
+	// OracleFunc adapts a function into an Oracle.
+	OracleFunc = core.OracleFunc
+	// Surrogate is a trainable, uncertainty-aware stand-in for an Oracle.
+	Surrogate = core.Surrogate
+	// NNSurrogate is the reference MC-dropout MLP surrogate.
+	NNSurrogate = core.NNSurrogate
+	// Wrapper is the MLaroundHPC runtime (UQ-gated surrogate-or-simulate).
+	Wrapper = core.Wrapper
+	// WrapperConfig tunes the wrapper.
+	WrapperConfig = core.WrapperConfig
+	// Ledger is the effective-performance accounting record.
+	Ledger = core.Ledger
+	// Source tells which path answered a query.
+	Source = core.Source
+	// ActiveLearner drives pool-based active learning.
+	ActiveLearner = core.ActiveLearner
+	// Autotuner implements MLautotuning.
+	Autotuner = core.Autotuner
+	// Controller implements MLControl acquisition.
+	Controller = core.Controller
+	// Interface enumerates the paper's six ML↔HPC interaction modes.
+	Interface = core.Interface
+	// Rand is the reproducible splittable RNG used throughout.
+	Rand = xrand.Rand
+)
+
+// Query sources.
+const (
+	FromSimulation = core.FromSimulation
+	FromSurrogate  = core.FromSurrogate
+)
+
+// The paper's taxonomy (§I).
+const (
+	HPCrunsML           = core.HPCrunsML
+	SimulationTrainedML = core.SimulationTrainedML
+	MLautotuning        = core.MLautotuning
+	MLafterHPC          = core.MLafterHPC
+	MLaroundHPC         = core.MLaroundHPC
+	MLControl           = core.MLControl
+)
+
+// NewRand returns a deterministic splittable generator.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// NewNNSurrogate builds the reference surrogate for an in→out mapping with
+// the given hidden widths and dropout rate.
+func NewNNSurrogate(in, out int, hidden []int, dropout float64, rng *Rand) *NNSurrogate {
+	return core.NewNNSurrogate(in, out, hidden, dropout, rng)
+}
+
+// NewWrapper wraps an oracle with a UQ-gated surrogate.
+func NewWrapper(oracle Oracle, surrogate Surrogate, cfg WrapperConfig) *Wrapper {
+	return core.NewWrapper(oracle, surrogate, cfg)
+}
+
+// EffectiveSpeedup evaluates the paper's §III-D formula.
+func EffectiveSpeedup(tseq, ttrain, tlearn, tlookup, nlookup, ntrain float64) float64 {
+	return core.EffectiveSpeedup(tseq, ttrain, tlearn, tlookup, nlookup, ntrain)
+}

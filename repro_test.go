@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: the
+// README-documented flow must keep working.
+func TestFacadeQuickstart(t *testing.T) {
+	rng := NewRand(1)
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0] + 2*x[1]}, nil
+	}}
+	sur := NewNNSurrogate(2, 1, []int{16}, 0.1, rng)
+	sur.Epochs = 120
+	w := NewWrapper(oracle, sur, WrapperConfig{MinTrainSamples: 60, UQThreshold: 0.25})
+	for i := 0; i < 60; i++ {
+		if _, _, _, err := w.Query([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := 0
+	for i := 0; i < 40; i++ {
+		_, src, _, err := w.Query([]float64{rng.Float64(), rng.Float64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src == FromSurrogate {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("facade wrapper never served from surrogate")
+	}
+	led := w.Ledger()
+	if led.NLookup != hits {
+		t.Fatal("facade ledger inconsistent")
+	}
+}
+
+func TestFacadeEffectiveSpeedup(t *testing.T) {
+	s := EffectiveSpeedup(100, 100, 1, 0.01, 1000, 10)
+	want := 100.0 * 1010 / (0.01*1000 + 101*10)
+	if math.Abs(s-want) > 1e-9 {
+		t.Fatalf("facade speedup %g want %g", s, want)
+	}
+}
+
+func TestFacadeTaxonomy(t *testing.T) {
+	if MLaroundHPC.String() != "MLaroundHPC" {
+		t.Fatal("taxonomy re-export broken")
+	}
+	if HPCrunsML.Category().String() != "HPCforML" {
+		t.Fatal("category re-export broken")
+	}
+}
