@@ -1,0 +1,161 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// The benchmarks in this file pin the NN hot path: steady-state training
+// throughput, layer-level allocation behaviour, and batched surrogate
+// serving. scripts/bench.sh snapshots them into BENCH_<n>.json so PRs
+// have a perf trajectory.
+
+// trainBenchData builds a fixed synthetic regression corpus.
+func trainBenchData(n, in, out int) (*tensor.Matrix, *tensor.Matrix) {
+	rng := xrand.New(0xbe7c)
+	x := tensor.NewMatrix(n, in)
+	y := tensor.NewMatrix(n, out)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < out; j++ {
+			s := 0.0
+			for k := 0; k < in; k++ {
+				s += x.At(i, k) * float64(k%3)
+			}
+			y.Set(i, j, s/float64(in))
+		}
+	}
+	return x, y
+}
+
+// BenchmarkTrainEpoch measures one full Fit epoch (shuffle, minibatch
+// assembly, forward, loss, backward, optimizer step) over 512 samples of
+// an 8-64-64-4 MLP with dropout, the shape of the paper's surrogates.
+func BenchmarkTrainEpoch(b *testing.B) {
+	x, y := trainBenchData(512, 8, 4)
+	net := nn.NewMLP(xrand.New(1), nn.Tanh, 0.1, 8, 64, 64, 4)
+	opt := nn.NewAdam(1e-3)
+	cfg := nn.TrainConfig{Epochs: 1, BatchSize: 64, Optimizer: opt, Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Fit(x, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDenseForwardBackward measures one steady-state training step
+// of a single dense layer; allocs/op must read 0.
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	rng := xrand.New(3)
+	d := nn.NewDense(16, 16, nn.Tanh, rng)
+	x := tensor.NewMatrix(8, 16)
+	g := tensor.NewMatrix(8, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+		g.Data[i] = rng.Range(-1, 1)
+	}
+	d.Forward(x, true, nil)
+	d.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.GW.Zero()
+		d.GB.Zero()
+		d.Forward(x, true, nil)
+		d.Backward(g)
+	}
+}
+
+// benchWrapper builds a pretrained UQ-gated wrapper over a cheap
+// analytic oracle for the serving benchmarks.
+func benchWrapper(b *testing.B) *core.Wrapper {
+	b.Helper()
+	rng := xrand.New(0x5e4e)
+	oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{math.Sin(x[0]) + 0.5*x[1]}, nil
+	}}
+	sur := core.NewNNSurrogate(2, 1, []int{24}, 0.1, rng)
+	sur.Epochs = 100
+	sur.MCPasses = 10
+	w := core.NewWrapper(oracle, sur, core.WrapperConfig{MinTrainSamples: 10, UQThreshold: 10})
+	design := tensor.NewMatrix(100, 2)
+	for i := 0; i < 100; i++ {
+		design.Set(i, 0, rng.Range(-2, 2))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchBatch(n int) *tensor.Matrix {
+	rng := xrand.New(0xba7c4)
+	batch := tensor.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		batch.Set(i, 0, rng.Range(-2, 2))
+		batch.Set(i, 1, rng.Range(-1, 1))
+	}
+	return batch
+}
+
+// BenchmarkQueryBatch serves 64 queries per op through the amortized
+// batch path (one matmul per layer per MC pass for the whole batch).
+func BenchmarkQueryBatch(b *testing.B) {
+	w := benchWrapper(b)
+	batch := benchBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.QueryBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 64 {
+			b.Fatal("short batch")
+		}
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkQueryLoop serves the same 64 queries one Query at a time —
+// the pre-batching serving pattern, kept as the comparison baseline.
+func BenchmarkQueryLoop(b *testing.B) {
+	w := benchWrapper(b)
+	batch := benchBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < batch.Rows; r++ {
+			if _, _, _, err := w.Query(batch.Row(r)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkQueryBatchParallel drives the batch path from parallel
+// goroutines, exercising the wrapper's read-lock serving contract.
+func BenchmarkQueryBatchParallel(b *testing.B) {
+	w := benchWrapper(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		batch := benchBatch(64)
+		for pb.Next() {
+			if _, err := w.QueryBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/nn"
@@ -52,6 +53,16 @@ type Surrogate interface {
 	PredictWithUQ(x []float64) (mean, std []float64)
 	// Trained reports whether Train has succeeded at least once.
 	Trained() bool
+}
+
+// BatchSurrogate is a Surrogate that can amortize one network pass across
+// a whole batch of queries — the serving-side analogue of minibatched
+// training. Wrapper.QueryBatch uses it when available.
+type BatchSurrogate interface {
+	Surrogate
+	// PredictBatchWithUQ returns per-row predictive means and stds (target
+	// units) for every row of x. The returned matrices are caller-owned.
+	PredictBatchWithUQ(x *tensor.Matrix) (mean, std *tensor.Matrix)
 }
 
 // NNSurrogate is the reference Surrogate: a dropout MLP trained on
@@ -133,6 +144,37 @@ func (s *NNSurrogate) PredictWithUQ(x []float64) (mean, std []float64) {
 	return mean, std
 }
 
+// PredictBatch returns point predictions (original units) for every row
+// of x in one amortized network pass.
+func (s *NNSurrogate) PredictBatch(x *tensor.Matrix) *tensor.Matrix {
+	s.mustBeTrained()
+	out := s.net.PredictBatch(s.xScaler.Transform(x))
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = row[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
+		}
+	}
+	return out
+}
+
+// PredictBatchWithUQ implements BatchSurrogate using batched MC dropout:
+// each of the MCPasses stochastic passes runs one matmul per layer over
+// the whole batch instead of one per query row.
+func (s *NNSurrogate) PredictBatchWithUQ(x *tensor.Matrix) (mean, std *tensor.Matrix) {
+	s.mustBeTrained()
+	mean, std = s.net.PredictMCBatch(s.xScaler.Transform(x), s.MCPasses)
+	for i := 0; i < mean.Rows; i++ {
+		mrow := mean.Row(i)
+		srow := std.Row(i)
+		for j := range mrow {
+			mrow[j] = mrow[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
+			srow[j] = s.yScaler.InverseScale(j, srow[j])
+		}
+	}
+	return mean, std
+}
+
 // Trained implements Surrogate.
 func (s *NNSurrogate) Trained() bool { return s.trained }
 
@@ -177,14 +219,24 @@ type WrapperConfig struct {
 // learned surrogate when the UQ gate passes and from the simulation
 // otherwise, accumulating every simulation result as training data and
 // keeping the effective-performance ledger.
+//
+// Wrapper is safe for concurrent use: surrogate lookups run in parallel
+// under a read lock, while training-set appends and surrogate refits take
+// the write lock. The Oracle must itself tolerate concurrent Run calls
+// when the wrapper is queried from multiple goroutines (oracle runs
+// execute outside the wrapper locks so slow simulations never block
+// surrogate serving).
 type Wrapper struct {
 	oracle    Oracle
 	surrogate Surrogate
 	cfg       WrapperConfig
 
+	mu            sync.RWMutex // surrogate state, xs/ys, newSinceTrain
 	xs, ys        *tensor.Matrix
 	newSinceTrain int
-	ledger        Ledger
+
+	ledMu  sync.Mutex // ledger only; always acquired after mu
+	ledger Ledger
 }
 
 // NewWrapper constructs a wrapper. The surrogate must provide non-trivial
@@ -201,42 +253,174 @@ func NewWrapper(oracle Oracle, surrogate Surrogate, cfg WrapperConfig) *Wrapper 
 }
 
 // Ledger returns a copy of the effective-performance ledger.
-func (w *Wrapper) Ledger() Ledger { return w.ledger }
+func (w *Wrapper) Ledger() Ledger {
+	w.ledMu.Lock()
+	defer w.ledMu.Unlock()
+	return w.ledger
+}
 
 // TrainingSetSize returns the number of accumulated oracle samples.
-func (w *Wrapper) TrainingSetSize() int { return w.xs.Rows }
+func (w *Wrapper) TrainingSetSize() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.xs.Rows
+}
+
+// record applies one ledger mutation under the ledger lock.
+func (w *Wrapper) record(f func(l *Ledger)) {
+	w.ledMu.Lock()
+	f(&w.ledger)
+	w.ledMu.Unlock()
+}
 
 // Query answers one input point, reporting which path served it and, for
-// surrogate answers, the predictive uncertainty.
+// surrogate answers, the predictive uncertainty. Safe for concurrent use.
 func (w *Wrapper) Query(x []float64) (y []float64, src Source, std []float64, err error) {
-	if w.surrogate.Trained() {
-		t0 := time.Now()
-		mean, sd := w.surrogate.PredictWithUQ(x)
-		dt := time.Since(t0)
-		if maxOf(sd) <= w.cfg.UQThreshold {
-			w.ledger.RecordLookup(dt)
-			return mean, FromSurrogate, sd, nil
-		}
-		// Gate failed: fall through to simulation; the lookup time is
-		// charged as overhead.
-		w.ledger.RecordRejectedLookup(dt)
+	if mean, sd, ok := w.tryLookup(x); ok {
+		return mean, FromSurrogate, sd, nil
 	}
 	t0 := time.Now()
 	y, err = w.oracle.Run(x)
 	dt := time.Since(t0)
 	if err != nil {
-		w.ledger.RecordFailedRun(dt)
+		w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
 		return nil, FromSimulation, nil, fmt.Errorf("core: oracle: %w", err)
 	}
-	w.ledger.RecordSimulation(dt)
-	w.addSample(x, y)
-	if err := w.maybeTrain(); err != nil {
+	w.record(func(l *Ledger) { l.RecordSimulation(dt) })
+	w.mu.Lock()
+	w.addSampleLocked(x, y)
+	err = w.maybeTrainLocked()
+	w.mu.Unlock()
+	if err != nil {
 		return nil, FromSimulation, nil, err
 	}
 	return y, FromSimulation, nil, nil
 }
 
-func (w *Wrapper) addSample(x, y []float64) {
+// tryLookup serves x from the surrogate under the read lock when the UQ
+// gate passes. Concurrent lookups proceed in parallel; only training
+// excludes them.
+func (w *Wrapper) tryLookup(x []float64) (mean, sd []float64, ok bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if !w.surrogate.Trained() {
+		return nil, nil, false
+	}
+	t0 := time.Now()
+	mean, sd = w.surrogate.PredictWithUQ(x)
+	dt := time.Since(t0)
+	if maxOf(sd) <= w.cfg.UQThreshold {
+		w.record(func(l *Ledger) { l.RecordLookup(dt) })
+		return mean, sd, true
+	}
+	// Gate failed: the lookup time is charged as overhead.
+	w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+	return nil, nil, false
+}
+
+// BatchResult is the answer to one row of a QueryBatch call.
+type BatchResult struct {
+	Y   []float64
+	Src Source
+	Std []float64 // non-nil only for surrogate answers
+	Err error     // per-row oracle failure
+}
+
+// QueryBatch answers every row of xs, serving all UQ-passing rows from
+// one amortized batched surrogate pass and falling back to the oracle
+// (plus training-set accumulation) for the rest. Per-row oracle failures
+// are reported in the row's Err; a surrogate retraining failure is
+// returned as the batch-level error. Safe for concurrent use alongside
+// Query and other QueryBatch calls.
+func (w *Wrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
+	if xs.Rows == 0 {
+		return nil, nil
+	}
+	res := make([]BatchResult, xs.Rows)
+	miss := w.lookupBatch(xs, res)
+
+	if len(miss) == 0 {
+		return res, nil
+	}
+	// Oracle fallback outside the locks.
+	for _, i := range miss {
+		t0 := time.Now()
+		y, err := w.oracle.Run(xs.Row(i))
+		dt := time.Since(t0)
+		if err != nil {
+			w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
+			res[i] = BatchResult{Src: FromSimulation, Err: fmt.Errorf("core: oracle: %w", err)}
+			continue
+		}
+		w.record(func(l *Ledger) { l.RecordSimulation(dt) })
+		res[i] = BatchResult{Y: y, Src: FromSimulation}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, i := range miss {
+		if res[i].Err == nil {
+			w.addSampleLocked(xs.Row(i), res[i].Y)
+		}
+	}
+	return res, w.maybeTrainLocked()
+}
+
+// lookupBatch fills res with surrogate answers for the rows that pass
+// the UQ gate under the read lock and returns the indices that must fall
+// back to the oracle.
+func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult) []int {
+	miss := make([]int, 0, xs.Rows)
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	bs, isBatch := w.surrogate.(BatchSurrogate)
+	switch {
+	case w.surrogate.Trained() && isBatch:
+		t0 := time.Now()
+		mean, std := bs.PredictBatchWithUQ(xs)
+		per := time.Since(t0) / time.Duration(xs.Rows)
+		served, rejected := 0, 0
+		for i := 0; i < xs.Rows; i++ {
+			sd := std.Row(i)
+			if maxOf(sd) <= w.cfg.UQThreshold {
+				res[i] = BatchResult{Y: mean.Row(i), Src: FromSurrogate, Std: sd}
+				served++
+			} else {
+				miss = append(miss, i)
+				rejected++
+			}
+		}
+		w.record(func(l *Ledger) {
+			for k := 0; k < served; k++ {
+				l.RecordLookup(per)
+			}
+			for k := 0; k < rejected; k++ {
+				l.RecordRejectedLookup(per)
+			}
+		})
+	case w.surrogate.Trained():
+		// Non-batch surrogate: per-row lookups, still under one read lock.
+		for i := 0; i < xs.Rows; i++ {
+			t0 := time.Now()
+			mean, sd := w.surrogate.PredictWithUQ(xs.Row(i))
+			dt := time.Since(t0)
+			if maxOf(sd) <= w.cfg.UQThreshold {
+				res[i] = BatchResult{Y: mean, Src: FromSurrogate, Std: sd}
+				w.record(func(l *Ledger) { l.RecordLookup(dt) })
+			} else {
+				miss = append(miss, i)
+				w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+			}
+		}
+	default:
+		for i := 0; i < xs.Rows; i++ {
+			miss = append(miss, i)
+		}
+	}
+	return miss
+}
+
+// addSampleLocked appends one oracle result; callers hold w.mu.
+func (w *Wrapper) addSampleLocked(x, y []float64) {
 	w.xs.Data = append(w.xs.Data, x...)
 	w.xs.Rows++
 	w.ys.Data = append(w.ys.Data, y...)
@@ -244,7 +428,8 @@ func (w *Wrapper) addSample(x, y []float64) {
 	w.newSinceTrain++
 }
 
-func (w *Wrapper) maybeTrain() error {
+// maybeTrainLocked refits the surrogate when due; callers hold w.mu.
+func (w *Wrapper) maybeTrainLocked() error {
 	shouldTrain := false
 	if !w.surrogate.Trained() {
 		shouldTrain = w.xs.Rows >= w.cfg.MinTrainSamples
@@ -258,7 +443,9 @@ func (w *Wrapper) maybeTrain() error {
 	if err := w.surrogate.Train(w.xs, w.ys); err != nil {
 		return err
 	}
-	w.ledger.RecordTraining(time.Since(t0), w.xs.Rows)
+	dt := time.Since(t0)
+	rows := w.xs.Rows
+	w.record(func(l *Ledger) { l.RecordTraining(dt, rows) })
 	w.newSinceTrain = 0
 	return nil
 }
@@ -274,17 +461,23 @@ func (w *Wrapper) Pretrain(design *tensor.Matrix) error {
 		y, err := w.oracle.Run(x)
 		dt := time.Since(t0)
 		if err != nil {
-			w.ledger.RecordFailedRun(dt)
+			w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
 			return fmt.Errorf("core: pretrain point %d: %w", i, err)
 		}
-		w.ledger.RecordSimulation(dt)
-		w.addSample(x, y)
+		w.record(func(l *Ledger) { l.RecordSimulation(dt) })
+		w.mu.Lock()
+		w.addSampleLocked(x, y)
+		w.mu.Unlock()
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	t0 := time.Now()
 	if err := w.surrogate.Train(w.xs, w.ys); err != nil {
 		return err
 	}
-	w.ledger.RecordTraining(time.Since(t0), w.xs.Rows)
+	dt := time.Since(t0)
+	rows := w.xs.Rows
+	w.record(func(l *Ledger) { l.RecordTraining(dt, rows) })
 	w.newSinceTrain = 0
 	return nil
 }

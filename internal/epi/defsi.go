@@ -41,6 +41,21 @@ type TwoBranchNet struct {
 	yScaler          *nn.Scaler
 	trained          bool
 	rng              *xrand.Rand
+
+	// Owned forward/backward workspaces, reused across steps so the
+	// training loop is allocation-free (the dense layers copy their
+	// inputs, so reuse is safe). Not safe for concurrent use.
+	xa, xb, concat *tensor.Matrix
+	ga, gb         *tensor.Matrix
+}
+
+// scratch returns *m reshaped to rows x cols, allocating only on growth.
+func scratch(m **tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if *m == nil {
+		*m = tensor.NewMatrix(rows, cols)
+		return *m
+	}
+	return (*m).Reshape(rows, cols)
 }
 
 // NewTwoBranchNet builds the network with the given hidden widths.
@@ -57,15 +72,15 @@ func NewTwoBranchNet(inA, inB, hiddenA, hiddenB, hiddenHead, out int, rng *xrand
 
 // forward runs a (scaled) batch through both branches and the head.
 func (t *TwoBranchNet) forward(x *tensor.Matrix, training bool) *tensor.Matrix {
-	xa := tensor.NewMatrix(x.Rows, t.InA)
-	xb := tensor.NewMatrix(x.Rows, t.InB)
+	xa := scratch(&t.xa, x.Rows, t.InA)
+	xb := scratch(&t.xb, x.Rows, t.InB)
 	for i := 0; i < x.Rows; i++ {
 		copy(xa.Row(i), x.Row(i)[:t.InA])
 		copy(xb.Row(i), x.Row(i)[t.InA:])
 	}
 	ha := t.branchA.Forward(xa, training, t.rng)
 	hb := t.branchB.Forward(xb, training, t.rng)
-	concat := tensor.NewMatrix(x.Rows, ha.Cols+hb.Cols)
+	concat := scratch(&t.concat, x.Rows, ha.Cols+hb.Cols)
 	for i := 0; i < x.Rows; i++ {
 		copy(concat.Row(i)[:ha.Cols], ha.Row(i))
 		copy(concat.Row(i)[ha.Cols:], hb.Row(i))
@@ -78,8 +93,8 @@ func (t *TwoBranchNet) forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 func (t *TwoBranchNet) backward(gradOut *tensor.Matrix) {
 	g := t.out.Backward(gradOut)
 	gConcat := t.head.Backward(g)
-	ga := tensor.NewMatrix(gConcat.Rows, t.branchA.Out)
-	gb := tensor.NewMatrix(gConcat.Rows, t.branchB.Out)
+	ga := scratch(&t.ga, gConcat.Rows, t.branchA.Out)
+	gb := scratch(&t.gb, gConcat.Rows, t.branchB.Out)
 	for i := 0; i < gConcat.Rows; i++ {
 		copy(ga.Row(i), gConcat.Row(i)[:t.branchA.Out])
 		copy(gb.Row(i), gConcat.Row(i)[t.branchA.Out:])
@@ -94,12 +109,6 @@ func (t *TwoBranchNet) params() []nn.ParamPair {
 		out = append(out, l.Params()...)
 	}
 	return out
-}
-
-func (t *TwoBranchNet) zeroGrad() {
-	for _, p := range t.params() {
-		p.Grad.Zero()
-	}
 }
 
 // Fit trains on rows of [branchA features ++ branchB features] → targets.
@@ -120,6 +129,14 @@ func (t *TwoBranchNet) Fit(x, y *tensor.Matrix, epochs, batchSize int, lr float6
 	opt := nn.NewAdam(lr)
 	loss := nn.MSE{}
 	idx := t.rng.Perm(xs.Rows)
+	params := t.params()
+	maxBatch := batchSize
+	if maxBatch > len(idx) {
+		maxBatch = len(idx)
+	}
+	xb := tensor.NewMatrix(maxBatch, xs.Cols)
+	yb := tensor.NewMatrix(maxBatch, ys.Cols)
+	gb := tensor.NewMatrix(maxBatch, ys.Cols)
 	for epoch := 0; epoch < epochs; epoch++ {
 		t.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += batchSize {
@@ -128,19 +145,21 @@ func (t *TwoBranchNet) Fit(x, y *tensor.Matrix, epochs, batchSize int, lr float6
 				end = len(idx)
 			}
 			bs := end - start
-			bx := tensor.NewMatrix(bs, xs.Cols)
-			by := tensor.NewMatrix(bs, ys.Cols)
+			bx := xb.Reshape(bs, xs.Cols)
+			by := yb.Reshape(bs, ys.Cols)
 			for bi, id := range idx[start:end] {
 				copy(bx.Row(bi), xs.Row(id))
 				copy(by.Row(bi), ys.Row(id))
 			}
-			t.zeroGrad()
+			for _, p := range params {
+				p.Grad.Zero()
+			}
 			pred := t.forward(bx, true)
 			if math.IsNaN(loss.Value(pred, by)) {
 				return nn.ErrDiverged
 			}
-			t.backward(loss.Grad(pred, by))
-			opt.Step(t.params())
+			t.backward(loss.Grad(gb.Reshape(bs, ys.Cols), pred, by))
+			opt.Step(params)
 		}
 	}
 	t.trained = true

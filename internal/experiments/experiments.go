@@ -194,18 +194,17 @@ func E2NanoSurrogate(scale Scale) (*E2Result, error) {
 		Targets:        md.TargetNames(),
 		MeanSimSeconds: simTime.Seconds() / float64(runs),
 	}
-	// Per-target metrics.
-	preds := make([][]float64, test.Len())
+	// Per-target metrics. The whole test set is served in one batched
+	// surrogate pass — the serving path heavy traffic takes through
+	// Wrapper.QueryBatch.
 	t0 := time.Now()
-	for i := 0; i < test.Len(); i++ {
-		preds[i] = sur.Predict(test.X.Row(i))
-	}
+	preds := sur.PredictBatch(test.X)
 	res.MeanLookupSeconds = time.Since(t0).Seconds() / float64(test.Len())
 	for j := range res.Targets {
 		p := make([]float64, test.Len())
 		y := make([]float64, test.Len())
 		for i := 0; i < test.Len(); i++ {
-			p[i] = preds[i][j]
+			p[i] = preds.At(i, j)
 			y[i] = test.Y.At(i, j)
 		}
 		res.MAE = append(res.MAE, stats.MAE(p, y))

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// TestDenseForwardBackwardZeroAlloc pins the hot-path contract: once a
+// Dense layer has warmed up its owned workspaces for a batch size,
+// Forward(training)+Backward allocate nothing. Shapes are kept below the
+// matmul parallel-fanout threshold so goroutine spawning doesn't count.
+func TestDenseForwardBackwardZeroAlloc(t *testing.T) {
+	rng := xrand.New(5)
+	d := NewDense(16, 16, Tanh, rng)
+	x := tensor.NewMatrix(8, 16)
+	g := tensor.NewMatrix(8, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+		g.Data[i] = rng.Range(-1, 1)
+	}
+	step := func() {
+		d.GW.Zero()
+		d.GB.Zero()
+		d.Forward(x, true, nil)
+		d.Backward(g)
+	}
+	step() // warm up owned buffers
+	if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+		t.Fatalf("steady-state Dense Forward+Backward allocates %g times per step, want 0", allocs)
+	}
+}
+
+// TestDropoutForwardBackwardZeroAlloc pins the same contract for Dropout.
+func TestDropoutForwardBackwardZeroAlloc(t *testing.T) {
+	rng := xrand.New(6)
+	dr := NewDropout(0.3)
+	x := tensor.NewMatrix(8, 16)
+	g := tensor.NewMatrix(8, 16)
+	x.Fill(1)
+	g.Fill(1)
+	step := func() {
+		dr.Forward(x, true, rng)
+		dr.Backward(g)
+	}
+	step()
+	if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+		t.Fatalf("steady-state Dropout Forward+Backward allocates %g times per step, want 0", allocs)
+	}
+}
+
+// TestPredictorForwardZeroAlloc pins the serving-side contract: a warmed
+// Predictor batch pass allocates nothing.
+func TestPredictorForwardZeroAlloc(t *testing.T) {
+	rng := xrand.New(7)
+	net := NewMLP(rng, Tanh, 0.1, 8, 16, 16, 2)
+	p := net.NewPredictor()
+	x := tensor.NewMatrix(4, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+	}
+	p.Forward(x)
+	if allocs := testing.AllocsPerRun(50, func() { p.Forward(x) }); allocs != 0 {
+		t.Fatalf("steady-state Predictor.Forward allocates %g times per pass, want 0", allocs)
+	}
+}
+
+// TestDenseTrainingInputIsCopied locks in the aliasing fix: mutating the
+// caller's batch buffer between Forward and Backward must not corrupt
+// the cached activations the gradients are computed from.
+func TestDenseTrainingInputIsCopied(t *testing.T) {
+	rng := xrand.New(8)
+	d := NewDense(2, 2, Identity, rng)
+	x := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	g := tensor.FromRows([][]float64{{1, 0}, {0, 1}})
+
+	d.GW.Zero()
+	d.GB.Zero()
+	d.Forward(x, true, nil)
+	d.Backward(g)
+	want := d.GW.Clone()
+
+	d.GW.Zero()
+	d.GB.Zero()
+	d.Forward(x, true, nil)
+	x.Fill(-99) // caller reuses its batch buffer before Backward
+	d.Backward(g)
+	if !tensor.Equal(d.GW, want, 1e-12) {
+		t.Fatal("weight gradient depends on caller's buffer after Forward returned")
+	}
+}
+
+// TestPredictorMatchesNetworkPredict checks that the workspace-reusing
+// inference path computes exactly what the allocating eval path does.
+func TestPredictorMatchesNetworkPredict(t *testing.T) {
+	rng := xrand.New(9)
+	net := NewMLP(rng, Tanh, 0, 3, 12, 12, 2)
+	p := net.NewPredictor()
+	x := tensor.NewMatrix(5, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+	}
+	want := net.Forward(x, false)
+	got := p.Forward(x)
+	if !tensor.Equal(got, want, 0) {
+		t.Fatal("Predictor.Forward differs from eval Forward")
+	}
+	// Repeated passes over different batch sizes stay correct.
+	x2 := x.SliceRows(0, 2)
+	want2 := net.Forward(x2, false)
+	if !tensor.Equal(p.Forward(x2), want2, 0) {
+		t.Fatal("Predictor.Forward wrong after batch-size change")
+	}
+}
+
+// TestPredictMCBatchMatchesSingle sanity-checks the batched MC path
+// against per-row statistics: for a deterministic net both must collapse
+// to the eval prediction with zero std.
+func TestPredictMCBatchMatchesSingle(t *testing.T) {
+	rng := xrand.New(10)
+	net := NewMLP(rng, Tanh, 0, 4, 10, 2)
+	x := tensor.NewMatrix(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+	}
+	mean, std := net.PredictMCBatch(x, 20)
+	want := net.Forward(x, false)
+	if !tensor.Equal(mean, want, 1e-12) {
+		t.Fatal("deterministic MC batch mean differs from eval forward")
+	}
+	for _, v := range std.Data {
+		if v != 0 {
+			t.Fatalf("deterministic MC batch std %g want exactly 0", v)
+		}
+	}
+}
+
+// TestPredictMCBatchUncertaintyPositive checks dropout spread survives
+// the batched path.
+func TestPredictMCBatchUncertaintyPositive(t *testing.T) {
+	rng := xrand.New(11)
+	net := NewMLP(rng, Tanh, 0.2, 4, 32, 2)
+	x := tensor.NewMatrix(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+	}
+	_, std := net.PredictMCBatch(x, 40)
+	for i, v := range std.Data {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("MC batch std[%d] = %g want > 0", i, v)
+		}
+	}
+}

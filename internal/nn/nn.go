@@ -10,6 +10,8 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -94,6 +96,13 @@ type ParamPair struct {
 }
 
 // Dense is a fully connected layer: out = act(x*W + b).
+//
+// The layer owns all scratch matrices the training hot path needs (input
+// copy, pre/post-activation batch, delta, gradient workspaces), so after
+// the first step of a given batch size, Forward(training=true)+Backward
+// performs zero heap allocations. The input batch is copied into lastIn
+// rather than aliased, so callers may reuse (and overwrite) their batch
+// buffer between steps.
 type Dense struct {
 	In, Out int
 	Act     Activation
@@ -101,8 +110,22 @@ type Dense struct {
 	W, B   *tensor.Matrix // B is 1 x Out
 	GW, GB *tensor.Matrix
 
-	lastIn  *tensor.Matrix // cached input batch
-	lastOut *tensor.Matrix // cached post-activation output
+	lastIn *tensor.Matrix // owned copy of the input batch
+	z      *tensor.Matrix // owned post-activation output
+	delta  *tensor.Matrix // owned gradOut ⊙ act' workspace
+	gw     *tensor.Matrix // owned per-step weight-gradient workspace
+	gradIn *tensor.Matrix // owned input-gradient output
+	cached bool           // true once Forward(training=true) has run
+}
+
+// reuse returns *m reshaped to rows x cols, allocating only on first use
+// or growth. The returned matrix's contents are unspecified.
+func reuse(m **tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if *m == nil {
+		*m = tensor.NewMatrix(rows, cols)
+		return *m
+	}
+	return (*m).Reshape(rows, cols)
 }
 
 // NewDense constructs a dense layer with Glorot-uniform initialized weights.
@@ -121,37 +144,54 @@ func NewDense(in, out int, act Activation, rng *xrand.Rand) *Dense {
 	return d
 }
 
-// Forward implements Layer.
+// Forward implements Layer. In training mode the result matrix is owned
+// by the layer and valid until its next training Forward; in eval mode a
+// fresh matrix is returned.
 func (d *Dense) Forward(x *tensor.Matrix, training bool, _ *xrand.Rand) *tensor.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, x.Cols))
 	}
-	z := tensor.MatMul(x, d.W)
+	if !training {
+		z := tensor.MatMul(x, d.W)
+		d.biasAct(z)
+		return z
+	}
+	in := reuse(&d.lastIn, x.Rows, d.In)
+	copy(in.Data, x.Data)
+	z := reuse(&d.z, x.Rows, d.Out)
+	tensor.MatMulInto(z, in, d.W)
+	d.biasAct(z)
+	d.cached = true
+	return z
+}
+
+// biasAct applies the bias and activation to every row of z in place.
+func (d *Dense) biasAct(z *tensor.Matrix) {
 	for i := 0; i < z.Rows; i++ {
 		row := z.Row(i)
 		for j := range row {
 			row[j] = d.Act.apply(row[j] + d.B.Data[j])
 		}
 	}
-	if training {
-		d.lastIn = x
-		d.lastOut = z
-	}
-	return z
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned input-gradient matrix is owned
+// by the layer and valid until its next Backward. Both gradient matmuls
+// run transpose-free (MatMulATBInto / MatMulABTInto), so steady-state
+// Backward allocates nothing.
 func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	if d.lastIn == nil {
+	if !d.cached {
 		panic("nn: Backward before Forward(training=true)")
 	}
 	// delta = gradOut ⊙ act'(out)
-	delta := tensor.NewMatrix(gradOut.Rows, gradOut.Cols)
+	delta := reuse(&d.delta, gradOut.Rows, gradOut.Cols)
 	for i := range delta.Data {
-		delta.Data[i] = gradOut.Data[i] * d.Act.derivFromOutput(d.lastOut.Data[i])
+		delta.Data[i] = gradOut.Data[i] * d.Act.derivFromOutput(d.z.Data[i])
 	}
-	// Accumulate parameter gradients (mean over batch applied by loss).
-	gw := tensor.MatMul(d.lastIn.T(), delta)
+	// Accumulate parameter gradients (mean over batch applied by loss):
+	// GW += lastInᵀ · delta, without materializing the transpose.
+	gw := reuse(&d.gw, d.In, d.Out)
+	tensor.MatMulATBInto(gw, d.lastIn, delta)
 	tensor.Add(d.GW, d.GW, gw)
 	for i := 0; i < delta.Rows; i++ {
 		row := delta.Row(i)
@@ -159,7 +199,8 @@ func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 			d.GB.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMul(delta, d.W.T())
+	// dX = delta · Wᵀ, again transpose-free.
+	return tensor.MatMulABTInto(reuse(&d.gradIn, delta.Rows, d.In), delta, d.W)
 }
 
 // Params implements Layer.
@@ -171,8 +212,11 @@ func (d *Dense) Params() []ParamPair {
 // during MC-dropout inference), scaling survivors by 1/(1-P) (inverted
 // dropout) so expected activations match eval mode.
 type Dropout struct {
-	P    float64
-	mask []float64
+	P      float64
+	mask   []float64
+	active bool           // a mask is live from the last training Forward
+	out    *tensor.Matrix // owned masked output
+	gradIn *tensor.Matrix // owned backward output
 }
 
 // NewDropout returns a dropout layer with drop probability p in [0,1).
@@ -183,34 +227,52 @@ func NewDropout(p float64) *Dropout {
 	return &Dropout{P: p}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. In training mode the result is an owned
+// buffer reused across steps.
 func (dr *Dropout) Forward(x *tensor.Matrix, training bool, rng *xrand.Rand) *tensor.Matrix {
 	if !training || dr.P == 0 {
-		dr.mask = nil
+		dr.active = false
 		return x
 	}
 	if rng == nil {
 		panic("nn: dropout in training mode requires rng")
 	}
-	out := tensor.NewMatrix(x.Rows, x.Cols)
-	dr.mask = make([]float64, len(x.Data))
-	keep := 1 - dr.P
-	inv := 1 / keep
-	for i, v := range x.Data {
-		if rng.Float64() < keep {
-			dr.mask[i] = inv
-			out.Data[i] = v * inv
-		}
+	out := reuse(&dr.out, x.Rows, x.Cols)
+	if cap(dr.mask) < len(x.Data) {
+		dr.mask = make([]float64, len(x.Data))
 	}
+	dr.mask = dr.mask[:len(x.Data)]
+	dr.active = true
+	dropoutSample(out.Data, x.Data, dr.mask, dr.P, rng)
 	return out
+}
+
+// dropoutSample fills dst with an inverted-dropout sample of x: each
+// element survives with probability 1-p scaled by 1/(1-p), else zero.
+// When mask is non-nil the applied multipliers are recorded for
+// backprop. This is the single home of the sampling semantics shared by
+// training (Dropout.Forward) and MC inference (Predictor.forward).
+func dropoutSample(dst, x, mask []float64, p float64, rng *xrand.Rand) {
+	keep := 1 - p
+	inv := 1 / keep
+	for i, v := range x {
+		m := 0.0
+		if rng.Float64() < keep {
+			m = inv
+		}
+		if mask != nil {
+			mask[i] = m
+		}
+		dst[i] = v * m
+	}
 }
 
 // Backward implements Layer.
 func (dr *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	if dr.mask == nil {
+	if !dr.active {
 		return gradOut
 	}
-	out := tensor.NewMatrix(gradOut.Rows, gradOut.Cols)
+	out := reuse(&dr.gradIn, gradOut.Rows, gradOut.Cols)
 	for i, g := range gradOut.Data {
 		out.Data[i] = g * dr.mask[i]
 	}
@@ -225,8 +287,10 @@ func (dr *Dropout) Params() []ParamPair { return nil }
 type Loss interface {
 	// Value returns the mean loss over the batch.
 	Value(pred, target *tensor.Matrix) float64
-	// Grad returns d(meanLoss)/d(pred).
-	Grad(pred, target *tensor.Matrix) *tensor.Matrix
+	// Grad stores d(meanLoss)/d(pred) into dst and returns it. A nil dst
+	// allocates; hot loops pass a reused buffer of pred's shape. dst must
+	// not alias pred or target.
+	Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix
 	Name() string
 }
 
@@ -247,13 +311,15 @@ func (MSE) Value(pred, target *tensor.Matrix) float64 {
 }
 
 // Grad implements Loss.
-func (MSE) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
-	g := tensor.NewMatrix(pred.Rows, pred.Cols)
+func (MSE) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
+	if dst == nil {
+		dst = tensor.NewMatrix(pred.Rows, pred.Cols)
+	}
 	scale := 2 / float64(len(pred.Data))
 	for i := range pred.Data {
-		g.Data[i] = scale * (pred.Data[i] - target.Data[i])
+		dst.Data[i] = scale * (pred.Data[i] - target.Data[i])
 	}
-	return g
+	return dst
 }
 
 // SoftmaxCrossEntropy applies a softmax over each output row and scores it
@@ -298,24 +364,38 @@ func (SoftmaxCrossEntropy) Value(pred, target *tensor.Matrix) float64 {
 }
 
 // Grad implements Loss.
-func (SoftmaxCrossEntropy) Grad(pred, target *tensor.Matrix) *tensor.Matrix {
-	g := tensor.NewMatrix(pred.Rows, pred.Cols)
+func (SoftmaxCrossEntropy) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
+	if dst == nil {
+		dst = tensor.NewMatrix(pred.Rows, pred.Cols)
+	}
 	inv := 1 / float64(pred.Rows)
 	for i := 0; i < pred.Rows; i++ {
 		p := softmaxRow(pred.Row(i))
 		trow := target.Row(i)
-		grow := g.Row(i)
+		grow := dst.Row(i)
 		for j := range p {
 			grow[j] = (p[j] - trow[j]) * inv
 		}
 	}
-	return g
+	return dst
 }
 
 // Network is an ordered stack of layers.
+//
+// Training (Forward(training=true), Backward, Fit) mutates shared layer
+// state and must be single-threaded. Inference through Predict,
+// PredictBatch and PredictMC draws per-call workspaces from an internal
+// pool and is safe for concurrent use as long as no training runs at the
+// same time; callers needing exclusive reusable workspaces (zero-copy
+// results) use NewPredictor directly.
 type Network struct {
 	Layers []Layer
 	rng    *xrand.Rand
+
+	predPool sync.Pool   // *Predictor
+	predOnce sync.Once   // seeds predBase from rng on first use
+	predBase uint64      // base seed for predictor rng streams
+	predCtr  atomic.Uint64
 }
 
 // NewNetwork builds a network around the given layers; rng drives dropout
@@ -393,67 +473,164 @@ func (n *Network) NumParams() int {
 }
 
 // Predict runs a single deterministic forward pass (dropout disabled) on
-// one input vector.
+// one input vector. Safe for concurrent use (no concurrent training).
 func (n *Network) Predict(x []float64) []float64 {
-	in := tensor.FromRows([][]float64{x})
-	out := n.Forward(in, false)
+	p := n.getPredictor()
+	defer n.putPredictor(p)
+	in := reuse(&p.in, 1, len(x))
+	copy(in.Data, x)
+	out := p.forward(in, false)
 	res := make([]float64, out.Cols)
 	copy(res, out.Row(0))
 	return res
 }
 
-// PredictBatch runs a deterministic forward pass on a batch.
+// PredictBatch runs a deterministic forward pass on a batch, returning a
+// fresh matrix. Safe for concurrent use (no concurrent training); hot
+// loops that can tolerate a borrowed result use a Predictor instead.
 func (n *Network) PredictBatch(x *tensor.Matrix) *tensor.Matrix {
-	return n.Forward(x, false)
+	p := n.getPredictor()
+	defer n.putPredictor(p)
+	return p.forward(x, false).Clone()
 }
 
 // PredictMC performs passes stochastic forward evaluations with dropout
 // active (MC dropout, Gal & Ghahramani as cited in §III-B) and returns the
 // predictive mean and standard deviation per output. With no dropout
-// layers the std collapses to zero.
+// layers the std collapses to zero. Safe for concurrent use (no
+// concurrent training).
 func (n *Network) PredictMC(x []float64, passes int) (mean, std []float64) {
-	if passes < 1 {
-		panic("nn: PredictMC needs at least one pass")
-	}
-	in := tensor.FromRows([][]float64{x})
-	var sum, sumSq []float64
-	for p := 0; p < passes; p++ {
-		out := n.forwardStochastic(in)
-		row := out.Row(0)
-		if sum == nil {
-			sum = make([]float64, len(row))
-			sumSq = make([]float64, len(row))
-		}
-		for j, v := range row {
-			sum[j] += v
-			sumSq[j] += v * v
-		}
-	}
-	mean = make([]float64, len(sum))
-	std = make([]float64, len(sum))
-	for j := range sum {
-		m := sum[j] / float64(passes)
-		mean[j] = m
-		v := sumSq[j]/float64(passes) - m*m
-		if v < 0 {
-			v = 0
-		}
-		std[j] = math.Sqrt(v)
-	}
+	p := n.getPredictor()
+	defer n.putPredictor(p)
+	in := reuse(&p.in, 1, len(x))
+	copy(in.Data, x)
+	m, s := p.PredictMCBatch(in, passes)
+	mean = append([]float64(nil), m.Row(0)...)
+	std = append([]float64(nil), s.Row(0)...)
 	return mean, std
 }
 
-// forwardStochastic runs a forward pass with dropout sampling active but
-// without caching activations for backprop (dense layers run in eval mode;
-// dropout layers in training mode).
-func (n *Network) forwardStochastic(x *tensor.Matrix) *tensor.Matrix {
+// PredictMCBatch runs passes MC-dropout evaluations over a whole batch
+// using a pooled predictor, returning fresh per-element predictive mean
+// and std matrices. Safe for concurrent use (no concurrent training).
+func (n *Network) PredictMCBatch(x *tensor.Matrix, passes int) (mean, std *tensor.Matrix) {
+	p := n.getPredictor()
+	defer n.putPredictor(p)
+	m, s := p.PredictMCBatch(x, passes)
+	return m.Clone(), s.Clone()
+}
+
+// NewPredictor returns an inference context with its own workspaces and
+// dropout rng stream. A Predictor is not safe for concurrent use itself,
+// but distinct Predictors over the same Network may run in parallel as
+// long as nothing trains the network concurrently.
+func (n *Network) NewPredictor() *Predictor {
+	return &Predictor{
+		net:  n,
+		rng:  xrand.New(n.predictorSeed()),
+		bufs: make([]*tensor.Matrix, len(n.Layers)),
+	}
+}
+
+// predictorSeed derives a distinct deterministic seed per predictor.
+func (n *Network) predictorSeed() uint64 {
+	n.predOnce.Do(func() { n.predBase = n.rng.Uint64() })
+	return n.predBase + n.predCtr.Add(1)*0x9e3779b97f4a7c15
+}
+
+func (n *Network) getPredictor() *Predictor {
+	if p, ok := n.predPool.Get().(*Predictor); ok {
+		return p
+	}
+	return n.NewPredictor()
+}
+
+func (n *Network) putPredictor(p *Predictor) { n.predPool.Put(p) }
+
+// Predictor owns the reusable workspaces for repeated inference on a
+// shared Network: one buffer per layer plus MC-dropout accumulators.
+// After warm-up at a given batch size its passes perform no heap
+// allocation (beyond the matmul fan-out for large batches).
+type Predictor struct {
+	net        *Network
+	rng        *xrand.Rand
+	bufs       []*tensor.Matrix // one per layer
+	in         *tensor.Matrix   // staging for vector queries
+	ref        *tensor.Matrix   // first-pass MC output (variance shift)
+	sum, sumSq *tensor.Matrix   // MC accumulators of shifted deviations
+	mean, std  *tensor.Matrix   // MC results
+}
+
+// forward runs a batch through the network using the predictor's owned
+// buffers. stochastic toggles dropout sampling (MC dropout); dense layers
+// always run in eval mode and cache nothing.
+func (p *Predictor) forward(x *tensor.Matrix, stochastic bool) *tensor.Matrix {
 	h := x
-	for _, l := range n.Layers {
-		if _, isDrop := l.(*Dropout); isDrop {
-			h = l.Forward(h, true, n.rng)
-		} else {
-			h = l.Forward(h, false, n.rng)
+	for i, l := range p.net.Layers {
+		switch ly := l.(type) {
+		case *Dense:
+			buf := reuse(&p.bufs[i], h.Rows, ly.Out)
+			tensor.MatMulInto(buf, h, ly.W)
+			ly.biasAct(buf)
+			h = buf
+		case *Dropout:
+			if !stochastic || ly.P == 0 {
+				continue
+			}
+			buf := reuse(&p.bufs[i], h.Rows, h.Cols)
+			dropoutSample(buf.Data, h.Data, nil, ly.P, p.rng)
+			h = buf
+		default:
+			h = l.Forward(h, false, p.rng)
 		}
 	}
 	return h
+}
+
+// Forward runs an eval-mode batch pass. The returned matrix is owned by
+// the predictor and valid until its next call.
+func (p *Predictor) Forward(x *tensor.Matrix) *tensor.Matrix { return p.forward(x, false) }
+
+// PredictMCBatch runs passes MC-dropout evaluations of a whole batch,
+// amortizing each layer matmul across all rows, and returns per-element
+// predictive mean and std. Both returned matrices are owned by the
+// predictor and valid until its next call.
+func (p *Predictor) PredictMCBatch(x *tensor.Matrix, passes int) (mean, std *tensor.Matrix) {
+	if passes < 1 {
+		panic("nn: PredictMCBatch needs at least one pass")
+	}
+	// Accumulate deviations from the first pass (shifted-data variance):
+	// exactly zero spread for deterministic nets and numerically robust
+	// when the spread is small relative to the mean.
+	var ref, sum, sumSq *tensor.Matrix
+	for t := 0; t < passes; t++ {
+		out := p.forward(x, true)
+		if t == 0 {
+			ref = reuse(&p.ref, out.Rows, out.Cols)
+			copy(ref.Data, out.Data)
+			sum = reuse(&p.sum, out.Rows, out.Cols)
+			sum.Zero()
+			sumSq = reuse(&p.sumSq, out.Rows, out.Cols)
+			sumSq.Zero()
+			continue
+		}
+		for k, v := range out.Data {
+			d := v - ref.Data[k]
+			sum.Data[k] += d
+			sumSq.Data[k] += d * d
+		}
+	}
+	mean = reuse(&p.mean, sum.Rows, sum.Cols)
+	std = reuse(&p.std, sum.Rows, sum.Cols)
+	inv := 1 / float64(passes)
+	for k := range sum.Data {
+		d := sum.Data[k] * inv
+		mean.Data[k] = ref.Data[k] + d
+		v := sumSq.Data[k]*inv - d*d
+		if v < 0 {
+			v = 0
+		}
+		std.Data[k] = math.Sqrt(v)
+	}
+	return mean, std
 }

@@ -86,7 +86,7 @@ func gradCheck(t *testing.T, act Activation, seed uint64) {
 
 	net.ZeroGrad()
 	pred := net.Forward(x, true)
-	net.Backward(loss.Grad(pred, y))
+	net.Backward(loss.Grad(nil, pred, y))
 
 	const h = 1e-6
 	for pi, p := range net.Params() {
@@ -118,7 +118,7 @@ func TestGradientCheckCrossEntropy(t *testing.T) {
 	loss := SoftmaxCrossEntropy{}
 	net.ZeroGrad()
 	pred := net.Forward(x, true)
-	net.Backward(loss.Grad(pred, y))
+	net.Backward(loss.Grad(nil, pred, y))
 	const h = 1e-6
 	for pi, p := range net.Params() {
 		for k := 0; k < len(p.Value.Data); k += 3 { // sample every third weight

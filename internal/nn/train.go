@@ -153,8 +153,26 @@ func (n *Network) Fit(x, y *tensor.Matrix, cfg TrainConfig) (*History, error) {
 	bestVal := math.Inf(1)
 	sinceBest := 0
 
-	xb := tensor.NewMatrix(cfg.BatchSize, x.Cols)
-	yb := tensor.NewMatrix(cfg.BatchSize, y.Cols)
+	// All per-step workspaces are allocated once and reshaped per batch
+	// (tail batches shrink the row count without reallocating), so the
+	// steady-state epoch loop performs no heap allocation.
+	maxBatch := cfg.BatchSize
+	if maxBatch > len(trainIdx) {
+		maxBatch = len(trainIdx)
+	}
+	xb := tensor.NewMatrix(maxBatch, x.Cols)
+	yb := tensor.NewMatrix(maxBatch, y.Cols)
+	gb := tensor.NewMatrix(maxBatch, y.Cols)
+	params := n.Params()
+	var vx, vy *tensor.Matrix
+	if nVal > 0 {
+		vx = tensor.NewMatrix(nVal, x.Cols)
+		vy = tensor.NewMatrix(nVal, y.Cols)
+		for bi, idx := range valIdx {
+			copy(vx.Row(bi), x.Row(idx))
+			copy(vy.Row(bi), y.Row(idx))
+		}
+	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
@@ -166,16 +184,15 @@ func (n *Network) Fit(x, y *tensor.Matrix, cfg TrainConfig) (*History, error) {
 				end = len(trainIdx)
 			}
 			bs := end - start
-			bx, by := xb, yb
-			if bs != cfg.BatchSize {
-				bx = tensor.NewMatrix(bs, x.Cols)
-				by = tensor.NewMatrix(bs, y.Cols)
-			}
+			bx := xb.Reshape(bs, x.Cols)
+			by := yb.Reshape(bs, y.Cols)
 			for bi, idx := range trainIdx[start:end] {
 				copy(bx.Row(bi), x.Row(idx))
 				copy(by.Row(bi), y.Row(idx))
 			}
-			n.ZeroGrad()
+			for _, p := range params {
+				p.Grad.Zero()
+			}
 			pred := n.Forward(bx, true)
 			loss := cfg.Loss.Value(pred, by)
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
@@ -183,20 +200,14 @@ func (n *Network) Fit(x, y *tensor.Matrix, cfg TrainConfig) (*History, error) {
 			}
 			epochLoss += loss
 			batches++
-			n.Backward(cfg.Loss.Grad(pred, by))
-			cfg.Optimizer.Step(n.Params())
+			n.Backward(cfg.Loss.Grad(gb.Reshape(bs, y.Cols), pred, by))
+			cfg.Optimizer.Step(params)
 		}
 		epochLoss /= float64(batches)
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
 
 		valLoss := math.NaN()
 		if nVal > 0 {
-			vx := tensor.NewMatrix(nVal, x.Cols)
-			vy := tensor.NewMatrix(nVal, y.Cols)
-			for bi, idx := range valIdx {
-				copy(vx.Row(bi), x.Row(idx))
-				copy(vy.Row(bi), y.Row(idx))
-			}
 			valLoss = cfg.Loss.Value(n.Forward(vx, false), vy)
 			hist.ValLoss = append(hist.ValLoss, valLoss)
 		}
@@ -342,14 +353,19 @@ func (s *Scaler) Transform(x *tensor.Matrix) *tensor.Matrix {
 
 // TransformVec standardizes a single feature vector.
 func (s *Scaler) TransformVec(x []float64) []float64 {
-	if len(x) != len(s.Mean) {
+	return s.TransformVecInto(make([]float64, len(x)), x)
+}
+
+// TransformVecInto standardizes x into dst (same length) and returns dst.
+// dst may alias x for in-place standardization.
+func (s *Scaler) TransformVecInto(dst, x []float64) []float64 {
+	if len(x) != len(s.Mean) || len(dst) != len(x) {
 		panic("nn: scaler dimension mismatch")
 	}
-	out := make([]float64, len(x))
 	for j := range x {
-		out[j] = (x[j] - s.Mean[j]) / s.Std[j]
+		dst[j] = (x[j] - s.Mean[j]) / s.Std[j]
 	}
-	return out
+	return dst
 }
 
 // Inverse maps a standardized vector back to original units.

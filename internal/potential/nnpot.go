@@ -25,6 +25,8 @@ type NNPotential struct {
 
 	rng       *xrand.Rand
 	net       *nn.Network
+	pred      *nn.Predictor // reusable inference workspaces for the net
+	featBuf   *tensor.Matrix
 	featMean  []float64
 	featStd   []float64
 	eShift    float64 // mean per-atom energy in training data
@@ -90,18 +92,34 @@ func (p *NNPotential) Fit(configs []*Configuration, energies []float64) error {
 
 	widths := append([]int{dim}, append(append([]int(nil), p.Hidden...), 1)...)
 	p.net = nn.NewMLP(p.rng.Split(), nn.Tanh, 0, widths...)
+	p.pred = nil // workspaces belong to the previous net
 	opt := nn.NewAdam(p.LR)
+	params := p.net.Params()
 	order := make([]int, len(configs))
 	for i := range order {
 		order[i] = i
 	}
+	// Scale every configuration's descriptor matrix once up front; the
+	// scaled features are constant across epochs, so the epoch loop below
+	// runs allocation-free (one reshaped gradient buffer per step).
+	scaled := make([]*tensor.Matrix, len(configs))
+	maxAtoms := 0
+	for ci := range feats {
+		scaled[ci] = p.scaledFeatures(feats[ci])
+		if n := len(feats[ci]); n > maxAtoms {
+			maxAtoms = n
+		}
+	}
+	grad := tensor.NewMatrix(maxAtoms, 1)
 	shuffleRng := p.rng.Split()
 	for epoch := 0; epoch < p.Epochs; epoch++ {
 		shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, ci := range order {
-			x := p.scaledFeatures(feats[ci])
+			x := scaled[ci]
 			target := (perAtom[ci] - p.eShift) / p.eScale
-			p.net.ZeroGrad()
+			for _, pp := range params {
+				pp.Grad.Zero()
+			}
 			out := p.net.Forward(x, true)
 			// Predicted normalized per-atom energy is the mean output.
 			mean := 0.0
@@ -112,13 +130,13 @@ func (p *NNPotential) Fit(configs []*Configuration, energies []float64) error {
 			if math.IsNaN(mean) || math.IsInf(mean, 0) {
 				return nn.ErrDiverged
 			}
-			grad := tensor.NewMatrix(out.Rows, 1)
+			gb := grad.Reshape(out.Rows, 1)
 			g := 2 * (mean - target) / float64(out.Rows)
-			for i := 0; i < out.Rows; i++ {
-				grad.Set(i, 0, g)
+			for i := range gb.Data {
+				gb.Data[i] = g
 			}
-			p.net.Backward(grad)
-			opt.Step(p.net.Params())
+			p.net.Backward(gb)
+			opt.Step(params)
 		}
 	}
 	p.trained = true
@@ -127,22 +145,42 @@ func (p *NNPotential) Fit(configs []*Configuration, energies []float64) error {
 }
 
 func (p *NNPotential) scaledFeatures(rows [][]float64) *tensor.Matrix {
-	x := tensor.NewMatrix(len(rows), p.SF.Dim())
-	for i, row := range rows {
-		for k, v := range row {
-			x.Set(i, k, (v-p.featMean[k])/p.featStd[k])
-		}
-	}
-	return x
+	return p.scaledFeaturesInto(tensor.NewMatrix(len(rows), p.SF.Dim()), rows)
 }
 
-// PredictEnergy returns the learned total energy of a configuration.
+// scaledFeaturesInto standardizes the per-atom descriptor rows into dst
+// (reshaped to fit) — the single home of the feature normalization used
+// by both training and inference.
+func (p *NNPotential) scaledFeaturesInto(dst *tensor.Matrix, rows [][]float64) *tensor.Matrix {
+	dst.Reshape(len(rows), p.SF.Dim())
+	for i, row := range rows {
+		xr := dst.Row(i)
+		for k, v := range row {
+			xr[k] = (v - p.featMean[k]) / p.featStd[k]
+		}
+	}
+	return dst
+}
+
+// PredictEnergy returns the learned total energy of a configuration. It
+// batches all atoms through one network pass using the potential's owned
+// inference workspaces, so repeated calls (committee sweeps, active
+// learning pool scans) reuse the same buffers. Because those workspaces
+// are shared, an NNPotential is NOT safe for concurrent use; parallelize
+// across potentials (e.g. one Committee member per goroutine), not
+// across calls on one.
 func (p *NNPotential) PredictEnergy(c *Configuration) float64 {
 	if !p.trained {
 		panic("potential: PredictEnergy before Fit")
 	}
-	x := p.scaledFeatures(p.SF.Compute(c))
-	out := p.net.PredictBatch(x)
+	if p.featBuf == nil {
+		p.featBuf = tensor.NewMatrix(0, p.SF.Dim())
+	}
+	x := p.scaledFeaturesInto(p.featBuf, p.SF.Compute(c))
+	if p.pred == nil {
+		p.pred = p.net.NewPredictor()
+	}
+	out := p.pred.Forward(x)
 	mean := 0.0
 	for i := 0; i < out.Rows; i++ {
 		mean += out.At(i, 0)

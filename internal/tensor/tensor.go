@@ -90,6 +90,34 @@ func (m *Matrix) Fill(v float64) {
 	}
 }
 
+// Reshape resizes m to rows x cols in place, reusing the backing slice
+// when its capacity suffices and reallocating otherwise. Element values
+// after a Reshape are unspecified; callers are expected to overwrite them.
+// It returns m for chaining.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// SliceRows returns a view of rows [lo,hi) sharing m's backing array.
+// Mutations through the view are visible in m and vice versa.
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: row slice [%d,%d) out of %d rows", lo, hi, m.Rows))
+	}
+	// Full slice expression clamps capacity so a later Reshape/append on
+	// the view cannot silently grow into the parent's remaining rows.
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols : hi*m.Cols]}
+}
+
 // T returns the transpose as a new matrix.
 func (m *Matrix) T() *Matrix {
 	t := NewMatrix(m.Cols, m.Rows)
@@ -153,26 +181,124 @@ func Apply(dst, a *Matrix, f func(float64) float64) *Matrix {
 // MatMul returns a*b using a cache-blocked ikj kernel. For matrices with
 // enough rows it shards row blocks across GOMAXPROCS goroutines.
 func MatMul(a, b *Matrix) *Matrix {
+	return MatMulInto(NewMatrix(a.Rows, b.Cols), a, b)
+}
+
+// MatMulInto stores a*b into dst and returns dst. dst must be a.Rows x
+// b.Cols and must not alias a or b; its prior contents are overwritten.
+// The kernel is the same parallel cache-blocked ikj loop as MatMul but
+// performs no allocation, so hot loops can reuse one dst across steps.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
-	workers := runtime.GOMAXPROCS(0)
-	// Parallelism only pays off for non-trivial row counts.
-	if workers > a.Rows {
-		workers = a.Rows
+	dst = ensure(dst, a.Rows, b.Cols)
+	if !useParallel(a.Rows, a.Rows*a.Cols*b.Cols) {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return dst
 	}
-	if a.Rows*a.Cols*b.Cols < 32*32*32 || workers <= 1 {
-		matMulRange(out, a, b, 0, a.Rows)
-		return out
+	parallelRanges(a.Rows, func(lo, hi int) {
+		matMulRange(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// MatMulATBInto stores aᵀ*b into dst and returns dst, without ever
+// materializing the transpose: for a (n x m) and b (n x p), dst (m x p)
+// accumulates dst[j,:] += a[i,j]*b[i,:] streaming b rows sequentially.
+// dst must not alias a or b. This is the gradient kernel GW = xᵀ·delta.
+func MatMulATBInto(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul-ATB shape mismatch %dx%dᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst = ensure(dst, a.Cols, b.Cols)
+	n, m, p := a.Rows, a.Cols, b.Cols
+	// Parallelize over dst rows (columns of a): each worker owns an
+	// exclusive dst row range and streams all of a and b once.
+	if !useParallel(m, n*m*p) {
+		matMulATBRange(dst, a, b, 0, m)
+		return dst
+	}
+	parallelRanges(m, func(lo, hi int) {
+		matMulATBRange(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// matMulATBRange computes dst rows [lo,hi) of dst = aᵀ*b.
+func matMulATBRange(dst, a, b *Matrix, lo, hi int) {
+	n, m, p := a.Rows, a.Cols, b.Cols
+	for j := lo; j < hi; j++ {
+		dstRow := dst.Data[j*p : (j+1)*p]
+		for i := range dstRow {
+			dstRow[i] = 0
+		}
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			axpyPanel4(a.Data[i*m+j], a.Data[(i+1)*m+j], a.Data[(i+2)*m+j], a.Data[(i+3)*m+j],
+				b.Data[i*p:(i+1)*p], b.Data[(i+1)*p:(i+2)*p],
+				b.Data[(i+2)*p:(i+3)*p], b.Data[(i+3)*p:(i+4)*p], dstRow)
+		}
+		for ; i < n; i++ {
+			if aij := a.Data[i*m+j]; aij != 0 {
+				axpy4(aij, b.Data[i*p:(i+1)*p], dstRow)
+			}
+		}
+	}
+}
+
+// MatMulABTInto stores a*bᵀ into dst and returns dst, without
+// materializing the transpose: for a (n x k) and b (m x k), dst[i,j] is
+// the dot product of row i of a with row j of b — both contiguous. dst
+// must not alias a or b. This is the backprop kernel dX = delta·Wᵀ.
+func MatMulABTInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul-ABT shape mismatch %dx%d * %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst = ensure(dst, a.Rows, b.Rows)
+	if !useParallel(a.Rows, a.Rows*a.Cols*b.Rows) {
+		matMulABTRange(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	parallelRanges(a.Rows, func(lo, hi int) {
+		matMulABTRange(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// matMulABTRange computes dst rows [lo,hi) of dst = a*bᵀ.
+func matMulABTRange(dst, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		aRow := a.Data[i*k : (i+1)*k]
+		dstRow := dst.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			dstRow[j] = dot4(aRow, b.Data[j*k:(j+1)*k])
+		}
+	}
+}
+
+// useParallel reports whether a row-sharded kernel should fan out: the
+// fan-out (goroutine spawns plus one closure allocation) only pays for
+// itself on multi-core machines with enough flops per call. Below the
+// threshold kernels run inline and allocation-free.
+func useParallel(rows, work int) bool {
+	return work >= 32*32*32 && rows > 1 && runtime.GOMAXPROCS(0) > 1
+}
+
+// parallelRanges splits [0,rows) across GOMAXPROCS goroutines.
+func parallelRanges(rows int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
 	}
 	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
+	chunk := (rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
+		if hi > rows {
+			hi = rows
 		}
 		if lo >= hi {
 			break
@@ -180,28 +306,32 @@ func MatMul(a, b *Matrix) *Matrix {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matMulRange(out, a, b, lo, hi)
+			f(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // matMulRange computes rows [lo,hi) of out = a*b with an ikj loop order
-// that streams b rows sequentially for cache friendliness.
+// that streams b rows sequentially for cache friendliness. The out rows
+// are zeroed first so a reused destination never leaks stale values.
 func matMulRange(out, a, b *Matrix, lo, hi int) {
 	n, p := a.Cols, b.Cols
 	for i := lo; i < hi; i++ {
 		outRow := out.Data[i*p : (i+1)*p]
+		for j := range outRow {
+			outRow[j] = 0
+		}
 		aRow := a.Data[i*n : (i+1)*n]
-		for k := 0; k < n; k++ {
-			aik := aRow[k]
-			if aik == 0 {
-				continue
-			}
-			bRow := b.Data[k*p : (k+1)*p]
-			for j, bv := range bRow {
-				outRow[j] += aik * bv
+		k := 0
+		for ; k+4 <= n; k += 4 {
+			axpyPanel4(aRow[k], aRow[k+1], aRow[k+2], aRow[k+3],
+				b.Data[k*p:(k+1)*p], b.Data[(k+1)*p:(k+2)*p],
+				b.Data[(k+2)*p:(k+3)*p], b.Data[(k+3)*p:(k+4)*p], outRow)
+		}
+		for ; k < n; k++ {
+			if aik := aRow[k]; aik != 0 {
+				axpy4(aik, b.Data[k*p:(k+1)*p], outRow)
 			}
 		}
 	}
@@ -229,8 +359,25 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("tensor: dot length mismatch")
 	}
-	s := 0.0
-	for i := range a {
+	return dot4(a, b)
+}
+
+// dot4 is the unchecked dot kernel: four independent accumulators break
+// the floating-point add dependency chain, which otherwise serializes
+// the loop at FP-add latency.
+func dot4(a, b []float64) float64 {
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a4, b4 := a[i:i+4:i+4], b[i:i+4:i+4]
+		s0 += a4[0] * b4[0]
+		s1 += a4[1] * b4[1]
+		s2 += a4[2] * b4[2]
+		s3 += a4[3] * b4[3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
 		s += a[i] * b[i]
 	}
 	return s
@@ -241,7 +388,35 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: axpy length mismatch")
 	}
-	for i := range x {
+	axpy4(alpha, x, y)
+}
+
+// axpyPanel4 computes y += a0*b0 + a1*b1 + a2*b2 + a3*b3 in one sweep.
+// Fusing four source rows per pass quarters the load/store traffic on
+// the accumulator row y, which is what bounds a plain axpy.
+func axpyPanel4(a0, a1, a2, a3 float64, b0, b1, b2, b3, y []float64) {
+	b0 = b0[:len(y)] // bounds-check elimination hints
+	b1 = b1[:len(y)]
+	b2 = b2[:len(y)]
+	b3 = b3[:len(y)]
+	for j := range y {
+		y[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// axpy4 is the unchecked y += alpha*x kernel, 4-way unrolled to cut loop
+// overhead and keep independent stores in flight.
+func axpy4(alpha float64, x, y []float64) {
+	y = y[:len(x)] // bounds-check elimination hint
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4, y4 := x[i:i+4:i+4], y[i:i+4:i+4]
+		y4[0] += alpha * x4[0]
+		y4[1] += alpha * x4[1]
+		y4[2] += alpha * x4[2]
+		y4[3] += alpha * x4[3]
+	}
+	for ; i < len(x); i++ {
 		y[i] += alpha * x[i]
 	}
 }

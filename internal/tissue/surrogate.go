@@ -25,6 +25,8 @@ type LearnedStencil struct {
 	Hidden int
 
 	net     *nn.Network
+	pred    *nn.Predictor  // reusable inference workspaces
+	xBuf    *tensor.Matrix // reusable all-nodes feature batch
 	scaler  *nn.Scaler
 	trained bool
 	rng     *xrand.Rand
@@ -115,6 +117,7 @@ func (ls *LearnedStencil) Train(proto *Field, fineSolver *Solver, tc TrainConfig
 		widths = []int{dim, ls.Hidden, 1}
 	}
 	ls.net = nn.NewMLP(ls.rng.Split(), nn.Tanh, 0, widths...)
+	ls.pred = nil // workspaces belong to the previous net
 	if _, err := ls.net.Fit(xs, y, nn.TrainConfig{
 		Epochs: tc.Epochs, BatchSize: 64, Optimizer: nn.NewAdam(tc.LR), Seed: tc.Seed,
 	}); err != nil {
@@ -125,7 +128,9 @@ func (ls *LearnedStencil) Train(proto *Field, fineSolver *Solver, tc TrainConfig
 }
 
 // Advance implements MacroStepper: each call jumps the field K micro-steps
-// using one learned sweep. k must be a multiple of K.
+// using one learned sweep. k must be a multiple of K. The sweep reuses
+// stencil-owned workspaces, so a LearnedStencil is NOT safe for
+// concurrent use; give each goroutine its own trained stencil.
 func (ls *LearnedStencil) Advance(f *Field, k int) {
 	if !ls.trained {
 		panic("tissue: LearnedStencil used before Train")
@@ -135,17 +140,27 @@ func (ls *LearnedStencil) Advance(f *Field, k int) {
 	}
 	jumps := k / ls.K
 	dim := ls.featDim()
+	// The feature batch and network workspaces are owned by the stencil
+	// and reused across jumps and Advance calls: the sweep allocates
+	// nothing in steady state.
+	if ls.xBuf == nil {
+		ls.xBuf = tensor.NewMatrix(f.NX*f.NY, dim)
+	}
+	x := ls.xBuf.Reshape(f.NX*f.NY, dim)
+	if ls.pred == nil {
+		ls.pred = ls.net.NewPredictor()
+	}
 	for jmp := 0; jmp < jumps; jmp++ {
-		// Batch all nodes through the network in one forward pass.
-		x := tensor.NewMatrix(f.NX*f.NY, dim)
-		row := make([]float64, dim)
+		// Batch all nodes through the network in one forward pass,
+		// standardizing each patch in place in its batch row.
 		for j := 0; j < f.NY; j++ {
 			for i := 0; i < f.NX; i++ {
+				row := x.Row(j*f.NX + i)
 				ls.patchFeatures(f, i, j, row)
-				copy(x.Row(j*f.NX+i), ls.scaler.TransformVec(row))
+				ls.scaler.TransformVecInto(row, row)
 			}
 		}
-		out := ls.net.PredictBatch(x)
+		out := ls.pred.Forward(x)
 		for idx := range f.U {
 			v := out.At(idx, 0)
 			if v < 0 {

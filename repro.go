@@ -13,11 +13,13 @@
 //	sur := repro.NewNNSurrogate(2, 1, []int{30, 48}, 0.1, rng)
 //	w := repro.NewWrapper(oracle, sur, repro.WrapperConfig{UQThreshold: 0.05})
 //	y, src, uq, err := w.Query(x) // simulation first, surrogate once trusted
+//	res, err := w.QueryBatch(xs)  // amortized batched serving, concurrency-safe
 //	fmt.Println(w.Ledger().EffectiveSpeedup(1))
 package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
 
@@ -29,6 +31,10 @@ type (
 	OracleFunc = core.OracleFunc
 	// Surrogate is a trainable, uncertainty-aware stand-in for an Oracle.
 	Surrogate = core.Surrogate
+	// BatchSurrogate amortizes one network pass over a query batch.
+	BatchSurrogate = core.BatchSurrogate
+	// BatchResult is one row's answer from Wrapper.QueryBatch.
+	BatchResult = core.BatchResult
 	// NNSurrogate is the reference MC-dropout MLP surrogate.
 	NNSurrogate = core.NNSurrogate
 	// Wrapper is the MLaroundHPC runtime (UQ-gated surrogate-or-simulate).
@@ -49,6 +55,9 @@ type (
 	Interface = core.Interface
 	// Rand is the reproducible splittable RNG used throughout.
 	Rand = xrand.Rand
+	// Matrix is the dense row-major matrix batches and training sets use
+	// (re-exported so facade consumers can build QueryBatch/Train inputs).
+	Matrix = tensor.Matrix
 )
 
 // Query sources.
@@ -69,6 +78,12 @@ const (
 
 // NewRand returns a deterministic splittable generator.
 func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix { return tensor.FromRows(rows) }
 
 // NewNNSurrogate builds the reference surrogate for an in→out mapping with
 // the given hidden widths and dropout rate.

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the top-level hot-path benchmarks and snapshot them as
+# BENCH_<n>.json (name -> ns/op, allocs/op, B/op) so successive PRs have
+# a perf trajectory to compare against.
+#
+# Usage: scripts/bench.sh [output.json]
+#   Default output: BENCH_<n>.json with n = first unused index.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [[ -z "$out" ]]; then
+  n=1
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+  out="BENCH_${n}.json"
+fi
+
+benches='BenchmarkTrainEpoch$|BenchmarkDenseForwardBackward|BenchmarkQueryBatch$|BenchmarkQueryLoop'
+raw=$(go test -run=NONE -bench="$benches" -benchtime=1s -count=1 .)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op") ns = $i
+      if ($(i + 1) == "B/op") bytes = $i
+      if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns != "") {
+      entries[++n] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    }
+  }
+  END {
+    printf "{\n" > out
+    for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "") > out
+    printf "}\n" > out
+  }
+'
+echo "wrote $out"
