@@ -2,7 +2,9 @@ package repro
 
 import (
 	"math"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nn"
@@ -158,4 +160,168 @@ func BenchmarkQueryBatchParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchShardedWrapper builds a pretrained sharded wrapper over the same
+// cheap analytic oracle as benchWrapper.
+func benchShardedWrapper(b *testing.B) *core.ShardedWrapper {
+	b.Helper()
+	rng := xrand.New(0x5e4e)
+	oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{math.Sin(x[0]) + 0.5*x[1]}, nil
+	}}
+	factory := core.NewNNSurrogateFactory(2, 1, []int{24}, 0.1, rng, func(s *core.NNSurrogate) {
+		s.Epochs = 100
+		s.MCPasses = 10
+	})
+	w := core.NewShardedWrapper(oracle, factory, core.ShardedConfig{
+		Shards: 2, MinTrainSamples: 10, UQThreshold: 10, OracleWorkers: 4,
+	})
+	design := tensor.NewMatrix(128, 2)
+	for i := 0; i < design.Rows; i++ {
+		design.Set(i, 0, rng.Range(-2, 2))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// reportLatencyPercentiles attaches p50/p99 per-query latency metrics.
+func reportLatencyPercentiles(b *testing.B, lats []time.Duration) {
+	b.Helper()
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))].Nanoseconds())
+	}
+	b.ReportMetric(pct(0.50), "p50-ns")
+	b.ReportMetric(pct(0.99), "p99-ns")
+}
+
+// BenchmarkQueryDuringRetrain measures single-query serving latency
+// (p50/p99) with and without a continuous background refit, on both
+// serving architectures:
+//
+//   - sharded/idle, sharded/retrain: the double-buffered ShardedWrapper —
+//     refits train a fresh model off to the side and publish by pointer
+//     swap, so the retrain percentiles should stay within ~2× of idle.
+//   - locked/retrain: the classic single-lock Wrapper with inline refits —
+//     readers block behind the write lock for entire trainings, which is
+//     the stall this PR removes (p99 ≈ full refit duration).
+func BenchmarkQueryDuringRetrain(b *testing.B) {
+	run := func(b *testing.B, w interface {
+		Query(x []float64) ([]float64, core.Source, []float64, error)
+	}, x []float64) {
+		lats := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, _, _, err := w.Query(x); err != nil {
+				b.Fatal(err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		b.StopTimer()
+		reportLatencyPercentiles(b, lats)
+	}
+	inGate := []float64{0.3, 0.2}
+
+	b.Run("sharded/idle", func(b *testing.B) {
+		w := benchShardedWrapper(b)
+		run(b, w, inGate)
+	})
+	b.Run("sharded/retrain", func(b *testing.B) {
+		w := benchShardedWrapper(b)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					w.Refit() // every shard retrains in the background
+					if err := w.Wait(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}()
+		run(b, w, inGate)
+		close(stop)
+		<-done
+	})
+	b.Run("locked/retrain", func(b *testing.B) {
+		// Classic wrapper: refits hold the write lock for the whole
+		// training run, so every reader blocks behind them. A background
+		// goroutine keeps a refit in flight (Pretrain with an empty
+		// design refits on the existing 128-sample set), which is the
+		// pre-sharding behaviour of any wrapper with RetrainEvery set.
+		wLocked := benchWrapper(b)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if err := wLocked.Pretrain(tensor.NewMatrix(0, 2)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}()
+		run(b, wLocked, inGate)
+		close(stop)
+		<-done
+	})
+}
+
+// BenchmarkOracleFanout measures QueryBatch when every row must fall back
+// to a latency-bound oracle (the external-HPC-job shape: ~200µs of
+// non-CPU latency per run), comparing the sequential fallback with the
+// bounded worker pool. The acceptance bar is ≥1.5× at 4 workers.
+func BenchmarkOracleFanout(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		name := "workers=1"
+		switch workers {
+		case 4:
+			name = "workers=4"
+		case 8:
+			name = "workers=8"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := xrand.New(0x0a7e)
+			oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+				time.Sleep(200 * time.Microsecond)
+				return []float64{x[0] + x[1]}, nil
+			}}
+			// Untrained surrogate: every row misses and runs the oracle.
+			sur := core.NewNNSurrogate(2, 1, []int{8}, 0.1, rng)
+			w := core.NewWrapper(oracle, sur, core.WrapperConfig{
+				MinTrainSamples: 1 << 30, UQThreshold: 0.5, OracleWorkers: workers,
+			})
+			batch := benchBatch(32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := w.QueryBatch(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 32 {
+					b.Fatal("short batch")
+				}
+			}
+			b.ReportMetric(float64(b.N*32)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
 }

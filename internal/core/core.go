@@ -213,6 +213,11 @@ type WrapperConfig struct {
 	// UQThreshold is the maximum acceptable predictive std (target units,
 	// per output) for a surrogate answer to be served.
 	UQThreshold float64
+	// OracleWorkers bounds the worker pool QueryBatch fans rejected rows
+	// out over (0 or 1 keeps the sequential fallback). Oracles must
+	// tolerate concurrent Run calls — the same contract concurrent
+	// wrapper use already imposes.
+	OracleWorkers int
 }
 
 // Wrapper is the MLaroundHPC runtime: it answers Query calls from the
@@ -342,19 +347,9 @@ func (w *Wrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 	if len(miss) == 0 {
 		return res, nil
 	}
-	// Oracle fallback outside the locks.
-	for _, i := range miss {
-		t0 := time.Now()
-		y, err := w.oracle.Run(xs.Row(i))
-		dt := time.Since(t0)
-		if err != nil {
-			w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
-			res[i] = BatchResult{Src: FromSimulation, Err: fmt.Errorf("core: oracle: %w", err)}
-			continue
-		}
-		w.record(func(l *Ledger) { l.RecordSimulation(dt) })
-		res[i] = BatchResult{Y: y, Src: FromSimulation}
-	}
+	// Oracle fallback outside the locks, fanned out over the bounded
+	// worker pool when configured.
+	oracleFanout(w.oracle, xs, miss, res, w.cfg.OracleWorkers, w.record)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, i := range miss {
@@ -450,27 +445,26 @@ func (w *Wrapper) maybeTrainLocked() error {
 	return nil
 }
 
-// Pretrain runs the oracle on the provided design points and fits the
-// surrogate once, charging the ledger accordingly. It is the batch
-// alternative to the online Query path ("one runs the Ntrain simulations,
-// followed by the learning, and then all the Nlookup inferences", §III-D).
+// Pretrain runs the oracle on the provided design points (through the
+// bounded worker pool when OracleWorkers is set, aborting early on the
+// first failure) and fits the surrogate once, charging the ledger
+// accordingly. It is the batch alternative to the online Query path ("one
+// runs the Ntrain simulations, followed by the learning, and then all the
+// Nlookup inferences", §III-D).
 func (w *Wrapper) Pretrain(design *tensor.Matrix) error {
-	for i := 0; i < design.Rows; i++ {
-		x := design.Row(i)
-		t0 := time.Now()
-		y, err := w.oracle.Run(x)
-		dt := time.Since(t0)
-		if err != nil {
-			w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
-			return fmt.Errorf("core: pretrain point %d: %w", i, err)
-		}
-		w.record(func(l *Ledger) { l.RecordSimulation(dt) })
-		w.mu.Lock()
-		w.addSampleLocked(x, y)
-		w.mu.Unlock()
-	}
+	res, ferr := pretrainFanout(w.oracle, design, w.cfg.OracleWorkers, w.record)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Keep every successful sample — "no run is wasted" — even when the
+	// campaign aborted on a failure.
+	for i, r := range res {
+		if r.Err == nil && r.Y != nil {
+			w.addSampleLocked(design.Row(i), r.Y)
+		}
+	}
+	if ferr != nil {
+		return ferr
+	}
 	t0 := time.Now()
 	if err := w.surrogate.Train(w.xs, w.ys); err != nil {
 		return err

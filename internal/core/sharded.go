@@ -1,0 +1,696 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// This file implements stall-free serving: the ShardedWrapper partitions
+// the input space across shards, gives every shard a double-buffered
+// surrogate (train the next model on a snapshot while the current one
+// serves, publish with an atomic pointer swap), and fans oracle fallbacks
+// out over a bounded worker pool. Query and QueryBatch never block on a
+// refit — the MLaroundHPC loop keeps learning from fresh oracle results
+// without ever freezing its readers.
+
+// Router assigns input points to shards. Implementations must be
+// deterministic pure functions of x — the same point always lands in the
+// same shard — and safe for concurrent use.
+type Router interface {
+	// Route returns the shard index for x, in [0, NumShards()).
+	Route(x []float64) int
+	// NumShards returns the shard count this router fans across.
+	NumShards() int
+}
+
+// HashRouter distributes points by an FNV-1a hash of their (optionally
+// quantized) coordinates: a stateless, dimension-agnostic partition that
+// balances load for any input distribution.
+type HashRouter struct {
+	Shards int
+	// Quantum, when positive, snaps each coordinate onto a grid of this
+	// pitch before hashing so near-identical inputs co-locate; zero hashes
+	// the raw float bits.
+	Quantum float64
+}
+
+// NumShards implements Router.
+func (r HashRouter) NumShards() int { return r.Shards }
+
+// Route implements Router.
+func (r HashRouter) Route(x []float64) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range x {
+		if r.Quantum > 0 {
+			v = math.Floor(v / r.Quantum)
+		}
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return int(h % uint64(r.Shards))
+}
+
+// KDRouter buckets points along one input dimension by ascending cut
+// values — the 1-level kd-partition that keeps spatially local queries on
+// the same shard (and its surrogate specialized to that region). Cuts of
+// length k produce k+1 shards.
+type KDRouter struct {
+	Dim  int
+	Cuts []float64
+}
+
+// NumShards implements Router.
+func (r KDRouter) NumShards() int { return len(r.Cuts) + 1 }
+
+// Route implements Router via binary search over the cuts.
+func (r KDRouter) Route(x []float64) int {
+	lo, hi := 0, len(r.Cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x[r.Dim] < r.Cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// SurrogateFactory builds fresh, untrained surrogates. Every refit
+// generation trains a brand-new instance, so a model that is serving is
+// never mutated; factories must be safe to call from concurrent background
+// refits.
+type SurrogateFactory func() Surrogate
+
+// NewNNSurrogateFactory returns a SurrogateFactory producing independently
+// seeded NNSurrogates for an in→out mapping, each drawing its own
+// deterministic rng stream split off rng. configure (optional) tunes every
+// produced instance, e.g. epochs or MC passes.
+func NewNNSurrogateFactory(in, out int, hidden []int, dropout float64, rng *xrand.Rand, configure func(*NNSurrogate)) SurrogateFactory {
+	var mu sync.Mutex
+	return func() Surrogate {
+		mu.Lock()
+		child := rng.Split()
+		mu.Unlock()
+		s := NewNNSurrogate(in, out, hidden, dropout, child)
+		if configure != nil {
+			configure(s)
+		}
+		return s
+	}
+}
+
+// ShardedConfig tunes a ShardedWrapper.
+type ShardedConfig struct {
+	// Shards is the partition width used when Router is nil (default 4).
+	Shards int
+	// Router overrides the default HashRouter partition.
+	Router Router
+	// MinTrainSamples is the per-shard sample count before its first fit
+	// (default 50).
+	MinTrainSamples int
+	// RetrainEvery triggers a background refit after this many new oracle
+	// results per shard; 0 disables refits after the first fit.
+	RetrainEvery int
+	// UQThreshold is the maximum acceptable predictive std (target units)
+	// for a surrogate answer to be served.
+	UQThreshold float64
+	// OracleWorkers bounds the fan-out pool QueryBatch uses for oracle
+	// fallbacks (default GOMAXPROCS; 1 serializes). Oracles must tolerate
+	// concurrent Run calls, the same contract concurrent Wrapper use
+	// already requires.
+	OracleWorkers int
+}
+
+// shard is one partition: its slice of the training set plus the
+// double-buffered surrogate. active holds the currently published model;
+// refits train a fresh instance on a snapshot and swap the pointer, so
+// readers load it lock-free and never observe a half-trained model.
+// Snapshots are numbered per shard and publishes are ordered by snapshot
+// generation, so a slow refit finishing late can never overwrite a model
+// trained on a newer snapshot (e.g. by a concurrent TrainAll).
+type shard struct {
+	active atomic.Pointer[Surrogate]
+
+	mu            sync.Mutex // everything below
+	xs, ys        *tensor.Matrix
+	newSinceTrain int
+	refitting     bool
+	nextSnapGen   int // id assigned to the next training snapshot
+	publishedGen  int // snapshot id of the published model; -1 = none
+}
+
+// snapshotLocked clones the shard's training set as snapshot generation
+// gen and resets the retrain credit. Callers hold s.mu.
+func (s *shard) snapshotLocked() (snapX, snapY *tensor.Matrix, gen, consumed int) {
+	gen = s.nextSnapGen
+	s.nextSnapGen++
+	consumed = s.newSinceTrain
+	s.newSinceTrain = 0
+	return s.xs.Clone(), s.ys.Clone(), gen, consumed
+}
+
+// publishIfNewer swaps sur in as the served model unless a model from a
+// newer snapshot has already been published.
+func (s *shard) publishIfNewer(sur Surrogate, gen int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen <= s.publishedGen {
+		return false
+	}
+	s.publishedGen = gen
+	s.active.Store(&sur)
+	return true
+}
+
+// ShardedWrapper is the stall-free MLaroundHPC runtime. It routes every
+// query to an input-space shard, serves it from that shard's published
+// surrogate when the UQ gate passes, and falls back to the oracle
+// otherwise — accumulating fallback results per shard and refitting each
+// shard's surrogate in the background on a snapshot of its data. Publishing
+// is an atomic pointer swap: Query and QueryBatch never block on a refit.
+//
+// All methods are safe for concurrent use. Background refit failures are
+// reported by Wait (training never takes the serving path down — the
+// previous model keeps serving).
+type ShardedWrapper struct {
+	oracle  Oracle
+	factory SurrogateFactory
+	router  Router
+	cfg     ShardedConfig
+	in, out int
+	shards  []*shard
+
+	// In-flight refit tracking. A plain WaitGroup would be misuse here:
+	// queries call the equivalent of Add(1) from a zero counter
+	// concurrently with Wait, which WaitGroup forbids. A counter and
+	// condvar under one mutex give the same quiesce semantics safely.
+	refitMu   sync.Mutex
+	refitDone *sync.Cond // signalled when inflight returns to 0
+	inflight  int
+	trainErr  error // first background refit failure since the last Wait
+
+	ledMu  sync.Mutex
+	ledger Ledger
+}
+
+// NewShardedWrapper constructs a sharded, double-buffered wrapper around
+// oracle. factory supplies a fresh surrogate per shard per refit
+// generation.
+func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfig) *ShardedWrapper {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Router == nil {
+		cfg.Router = HashRouter{Shards: cfg.Shards}
+	}
+	cfg.Shards = cfg.Router.NumShards()
+	if cfg.Shards < 1 {
+		panic("core: router with no shards")
+	}
+	if cfg.MinTrainSamples <= 0 {
+		cfg.MinTrainSamples = 50
+	}
+	if cfg.OracleWorkers <= 0 {
+		cfg.OracleWorkers = runtime.GOMAXPROCS(0)
+	}
+	in, out := oracle.Dims()
+	w := &ShardedWrapper{
+		oracle: oracle, factory: factory, router: cfg.Router, cfg: cfg,
+		in: in, out: out,
+	}
+	w.refitDone = sync.NewCond(&w.refitMu)
+	for i := 0; i < cfg.Shards; i++ {
+		w.shards = append(w.shards, &shard{
+			xs: tensor.NewMatrix(0, in), ys: tensor.NewMatrix(0, out),
+			publishedGen: -1,
+		})
+	}
+	return w
+}
+
+// NumShards returns the partition width.
+func (w *ShardedWrapper) NumShards() int { return len(w.shards) }
+
+// Route exposes the wrapper's routing decision for x.
+func (w *ShardedWrapper) Route(x []float64) int { return w.router.Route(x) }
+
+// Ledger returns a copy of the effective-performance ledger.
+func (w *ShardedWrapper) Ledger() Ledger {
+	w.ledMu.Lock()
+	defer w.ledMu.Unlock()
+	return w.ledger
+}
+
+// record applies one ledger mutation under the ledger lock.
+func (w *ShardedWrapper) record(f func(l *Ledger)) {
+	w.ledMu.Lock()
+	f(&w.ledger)
+	w.ledMu.Unlock()
+}
+
+// TrainingSetSize returns the total accumulated oracle samples across all
+// shards.
+func (w *ShardedWrapper) TrainingSetSize() int {
+	total := 0
+	for _, s := range w.shards {
+		s.mu.Lock()
+		total += s.xs.Rows
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ShardSizes returns the per-shard training-set sizes.
+func (w *ShardedWrapper) ShardSizes() []int {
+	sizes := make([]int, len(w.shards))
+	for i, s := range w.shards {
+		s.mu.Lock()
+		sizes[i] = s.xs.Rows
+		s.mu.Unlock()
+	}
+	return sizes
+}
+
+// Query answers one input point, serving from the routed shard's published
+// surrogate when the UQ gate passes and from the oracle otherwise. It
+// never blocks on a refit. Safe for concurrent use.
+func (w *ShardedWrapper) Query(x []float64) (y []float64, src Source, std []float64, err error) {
+	s := w.shards[w.router.Route(x)]
+	if mean, sd, ok := w.tryLookup(s, x); ok {
+		return mean, FromSurrogate, sd, nil
+	}
+	t0 := time.Now()
+	y, err = w.oracle.Run(x)
+	dt := time.Since(t0)
+	if err != nil {
+		w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
+		return nil, FromSimulation, nil, fmt.Errorf("core: oracle: %w", err)
+	}
+	w.record(func(l *Ledger) { l.RecordSimulation(dt) })
+	w.addSamples(s, [][2][]float64{{x, y}})
+	return y, FromSimulation, nil, nil
+}
+
+// tryLookup serves x from the shard's published surrogate. The load is a
+// single atomic pointer read — no lock is taken, so lookups proceed at
+// full speed while the shard refits.
+func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, ok bool) {
+	surp := s.active.Load()
+	if surp == nil {
+		return nil, nil, false
+	}
+	sur := *surp
+	t0 := time.Now()
+	mean, sd = sur.PredictWithUQ(x)
+	dt := time.Since(t0)
+	if maxOf(sd) <= w.cfg.UQThreshold {
+		w.record(func(l *Ledger) { l.RecordLookup(dt) })
+		return mean, sd, true
+	}
+	w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+	return nil, nil, false
+}
+
+// QueryBatch answers every row of xs: rows are partitioned by shard, each
+// shard's slice is served in one amortized batched surrogate pass, and the
+// UQ-rejected remainder fans out over the bounded oracle worker pool.
+// Per-row oracle failures are reported in the row's Err. Background refit
+// failures never surface here (see Wait); the returned error is reserved
+// for malformed input. Safe for concurrent use.
+func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
+	if xs.Rows == 0 {
+		return nil, nil
+	}
+	if xs.Cols != w.in {
+		return nil, fmt.Errorf("core: batch has %d cols, oracle wants %d", xs.Cols, w.in)
+	}
+	res := make([]BatchResult, xs.Rows)
+
+	// Partition rows by shard.
+	byShard := make([][]int, len(w.shards))
+	for i := 0; i < xs.Rows; i++ {
+		si := w.router.Route(xs.Row(i))
+		byShard[si] = append(byShard[si], i)
+	}
+
+	// Serve each shard's slice from its published surrogate; collect the
+	// UQ-rejected rows. The gather buffer is reused across shards.
+	var miss []int
+	var sub *tensor.Matrix
+	for si, idx := range byShard {
+		if len(idx) == 0 {
+			continue
+		}
+		surp := w.shards[si].active.Load()
+		if surp == nil {
+			miss = append(miss, idx...)
+			continue
+		}
+		sur := *surp
+		if bs, isBatch := sur.(BatchSurrogate); isBatch {
+			sub = tensor.GatherRowsInto(sub, xs, idx)
+			t0 := time.Now()
+			mean, std := bs.PredictBatchWithUQ(sub)
+			per := time.Since(t0) / time.Duration(len(idx))
+			served, rejected := 0, 0
+			for k, i := range idx {
+				sd := std.Row(k)
+				if maxOf(sd) <= w.cfg.UQThreshold {
+					res[i] = BatchResult{Y: mean.Row(k), Src: FromSurrogate, Std: sd}
+					served++
+				} else {
+					miss = append(miss, i)
+					rejected++
+				}
+			}
+			w.record(func(l *Ledger) {
+				for k := 0; k < served; k++ {
+					l.RecordLookup(per)
+				}
+				for k := 0; k < rejected; k++ {
+					l.RecordRejectedLookup(per)
+				}
+			})
+			continue
+		}
+		for _, i := range idx {
+			t0 := time.Now()
+			mean, sd := sur.PredictWithUQ(xs.Row(i))
+			dt := time.Since(t0)
+			if maxOf(sd) <= w.cfg.UQThreshold {
+				res[i] = BatchResult{Y: mean, Src: FromSurrogate, Std: sd}
+				w.record(func(l *Ledger) { l.RecordLookup(dt) })
+			} else {
+				miss = append(miss, i)
+				w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+			}
+		}
+	}
+	if len(miss) == 0 {
+		return res, nil
+	}
+
+	// Oracle fallback: bounded parallel fan-out instead of a sequential
+	// loop. Results land in disjoint res rows.
+	oracleFanout(w.oracle, xs, miss, res, w.cfg.OracleWorkers, w.record)
+
+	// Feed successful fallbacks back into their shards' training sets.
+	for si, idx := range byShard {
+		var samples [][2][]float64
+		for _, i := range idx {
+			if res[i].Src == FromSimulation && res[i].Err == nil {
+				samples = append(samples, [2][]float64{xs.Row(i), res[i].Y})
+			}
+		}
+		if len(samples) > 0 {
+			w.addSamples(w.shards[si], samples)
+		}
+	}
+	return res, nil
+}
+
+// addSamples appends oracle results to a shard and kicks off a background
+// refit when one is due.
+func (w *ShardedWrapper) addSamples(s *shard, samples [][2][]float64) {
+	s.mu.Lock()
+	for _, xy := range samples {
+		s.xs.AppendRow(xy[0])
+		s.ys.AppendRow(xy[1])
+		s.newSinceTrain++
+	}
+	snapX, snapY, gen, consumed := w.refitDueLocked(s)
+	s.mu.Unlock()
+	if snapX != nil {
+		w.spawnRefit(s, snapX, snapY, gen, consumed)
+	}
+}
+
+// beginRefit registers one in-flight refit; endRefit retires it,
+// recording the first failure and waking Wait when the count drains.
+func (w *ShardedWrapper) beginRefit() {
+	w.refitMu.Lock()
+	w.inflight++
+	w.refitMu.Unlock()
+}
+
+func (w *ShardedWrapper) endRefit(err error) {
+	w.refitMu.Lock()
+	if err != nil && w.trainErr == nil {
+		w.trainErr = err
+	}
+	w.inflight--
+	if w.inflight == 0 {
+		w.refitDone.Broadcast()
+	}
+	w.refitMu.Unlock()
+}
+
+// spawnRefit launches one registered background refit.
+func (w *ShardedWrapper) spawnRefit(s *shard, snapX, snapY *tensor.Matrix, gen, consumed int) {
+	w.beginRefit()
+	go w.refit(s, snapX, snapY, gen, consumed)
+}
+
+// refitDueLocked decides whether s owes a refit and, if so, snapshots its
+// training set and marks the refit in flight. Callers hold s.mu. A non-nil
+// snapshot means "spawn a refit"; consumed is the retrain credit the
+// snapshot absorbed, restored if the fit fails.
+func (w *ShardedWrapper) refitDueLocked(s *shard) (snapX, snapY *tensor.Matrix, gen, consumed int) {
+	if s.refitting {
+		return nil, nil, 0, 0
+	}
+	due := false
+	if s.active.Load() == nil {
+		due = s.xs.Rows >= w.cfg.MinTrainSamples
+	} else if w.cfg.RetrainEvery > 0 {
+		due = s.newSinceTrain >= w.cfg.RetrainEvery
+	}
+	if !due {
+		return nil, nil, 0, 0
+	}
+	s.refitting = true
+	snapX, snapY, gen, consumed = s.snapshotLocked()
+	return snapX, snapY, gen, consumed
+}
+
+// refit trains a fresh surrogate on the snapshot and publishes it
+// generation-ordered: serving is never paused, and a fit that finishes
+// after a newer snapshot's model has been published is discarded.
+func (w *ShardedWrapper) refit(s *shard, snapX, snapY *tensor.Matrix, gen, consumed int) {
+	sur := w.factory()
+	t0 := time.Now()
+	err := sur.Train(snapX, snapY)
+	dt := time.Since(t0)
+	if err != nil {
+		// Keep serving the previous generation and give back the retrain
+		// credit the snapshot absorbed, so the very next sample retries
+		// instead of waiting for a whole fresh RetrainEvery window.
+		s.mu.Lock()
+		s.refitting = false
+		s.newSinceTrain += consumed
+		s.mu.Unlock()
+		w.endRefit(err)
+		return
+	}
+	w.record(func(l *Ledger) { l.RecordTraining(dt, snapX.Rows) })
+	s.publishIfNewer(sur, gen)
+	// Samples may have piled past the retrain threshold while this fit
+	// ran; chain one follow-up so a busy shard cannot go stale.
+	s.mu.Lock()
+	s.refitting = false
+	nextX, nextY, nextGen, nextConsumed := w.refitDueLocked(s)
+	s.mu.Unlock()
+	if nextX != nil {
+		w.spawnRefit(s, nextX, nextY, nextGen, nextConsumed)
+	}
+	w.endRefit(nil)
+}
+
+// Refit asynchronously retrains every shard that has any data on a
+// snapshot of its current training set, regardless of the RetrainEvery
+// schedule (shards already refitting are skipped). It returns immediately;
+// Wait observes completion. Periodic-retrain drivers call this on a timer.
+func (w *ShardedWrapper) Refit() {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		var snapX, snapY *tensor.Matrix
+		var gen, consumed int
+		if !s.refitting && s.xs.Rows > 0 {
+			s.refitting = true
+			snapX, snapY, gen, consumed = s.snapshotLocked()
+		}
+		s.mu.Unlock()
+		if snapX != nil {
+			w.spawnRefit(s, snapX, snapY, gen, consumed)
+		}
+	}
+}
+
+// Wait blocks until no background refit is in flight and returns the first
+// background training failure observed since the previous Wait (clearing
+// it). A nil return means every completed refit published successfully.
+func (w *ShardedWrapper) Wait() error {
+	w.refitMu.Lock()
+	defer w.refitMu.Unlock()
+	for w.inflight > 0 {
+		w.refitDone.Wait()
+	}
+	err := w.trainErr
+	w.trainErr = nil
+	return err
+}
+
+// Ingest routes precomputed (x, y) sample rows into the shard training
+// sets without running the oracle or charging the ledger — the bulk-load
+// path for corpora computed elsewhere. It does not trigger refits; call
+// TrainAll (or Refit) afterwards.
+func (w *ShardedWrapper) Ingest(xs, ys *tensor.Matrix) error {
+	if xs.Rows != ys.Rows {
+		return fmt.Errorf("core: ingest rows mismatch %d vs %d", xs.Rows, ys.Rows)
+	}
+	if xs.Cols != w.in || ys.Cols != w.out {
+		return fmt.Errorf("core: ingest expects %d→%d, got %d→%d", w.in, w.out, xs.Cols, ys.Cols)
+	}
+	for i := 0; i < xs.Rows; i++ {
+		s := w.shards[w.router.Route(xs.Row(i))]
+		s.mu.Lock()
+		s.xs.AppendRow(xs.Row(i))
+		s.ys.AppendRow(ys.Row(i))
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// TrainAll synchronously fits every non-empty shard on a snapshot of its
+// current data and publishes the results, returning the first training
+// failure. Empty shards are skipped (they keep serving from the oracle).
+// Shard fits are independent (fresh factory surrogates on cloned
+// snapshots), so they run over the bounded worker pool; publishes are
+// generation-ordered, so a background refit of an older snapshot
+// finishing later can never displace a model trained here.
+func (w *ShardedWrapper) TrainAll() error {
+	errs := make([]error, len(w.shards))
+	parallel.ForEachBounded(len(w.shards), runtime.GOMAXPROCS(0), func(si int) {
+		s := w.shards[si]
+		s.mu.Lock()
+		if s.xs.Rows == 0 {
+			s.mu.Unlock()
+			return
+		}
+		snapX, snapY, gen, _ := s.snapshotLocked()
+		s.mu.Unlock()
+		sur := w.factory()
+		t0 := time.Now()
+		if err := sur.Train(snapX, snapY); err != nil {
+			errs[si] = fmt.Errorf("core: shard %d: %w", si, err)
+			return
+		}
+		dt := time.Since(t0)
+		w.record(func(l *Ledger) { l.RecordTraining(dt, snapX.Rows) })
+		s.publishIfNewer(sur, gen)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pretrain runs the oracle over every design point (through the bounded
+// worker pool, aborting early on the first failure), routes the results
+// into the shards, and fits every non-empty shard synchronously — the
+// batch alternative to the online Query path.
+func (w *ShardedWrapper) Pretrain(design *tensor.Matrix) error {
+	if design.Cols != w.in {
+		return fmt.Errorf("core: design has %d cols, oracle wants %d", design.Cols, w.in)
+	}
+	res, ferr := pretrainFanout(w.oracle, design, w.cfg.OracleWorkers, w.record)
+	// Keep every successful sample — "no run is wasted" — even when the
+	// campaign aborted on a failure.
+	xs := tensor.NewMatrix(0, w.in)
+	ys := tensor.NewMatrix(0, w.out)
+	for i, r := range res {
+		if r.Err == nil && r.Y != nil {
+			xs.AppendRow(design.Row(i))
+			ys.AppendRow(r.Y)
+		}
+	}
+	if err := w.Ingest(xs, ys); err != nil {
+		return err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return w.TrainAll()
+}
+
+// oracleFanout runs the oracle on the miss rows of xs with at most workers
+// concurrent goroutines, writing each answer into its res row and charging
+// the ledger through record. Rows are disjoint, so no result locking is
+// needed; oracles must tolerate concurrent Run calls (the contract
+// concurrent wrapper use already imposes). workers <= 1 runs inline.
+func oracleFanout(oracle Oracle, xs *tensor.Matrix, miss []int, res []BatchResult, workers int, record func(func(*Ledger))) {
+	parallel.ForEachBounded(len(miss), workers, func(k int) {
+		i := miss[k]
+		t0 := time.Now()
+		y, err := oracle.Run(xs.Row(i))
+		dt := time.Since(t0)
+		if err != nil {
+			record(func(l *Ledger) { l.RecordFailedRun(dt) })
+			res[i] = BatchResult{Src: FromSimulation, Err: fmt.Errorf("core: oracle: %w", err)}
+			return
+		}
+		record(func(l *Ledger) { l.RecordSimulation(dt) })
+		res[i] = BatchResult{Y: y, Src: FromSimulation}
+	})
+}
+
+// pretrainFanout runs the oracle over every row of design with at most
+// workers goroutines and early abort: once any run fails, rows not yet
+// started are skipped (their res entry stays zero: Y nil, Err nil), so a
+// design with an early deterministic failure doesn't burn the rest of an
+// expensive campaign. The first failing row's error is returned;
+// successful rows are usable from res either way.
+func pretrainFanout(oracle Oracle, design *tensor.Matrix, workers int, record func(func(*Ledger))) ([]BatchResult, error) {
+	res := make([]BatchResult, design.Rows)
+	var failed atomic.Bool
+	parallel.ForEachBounded(design.Rows, workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		t0 := time.Now()
+		y, err := oracle.Run(design.Row(i))
+		dt := time.Since(t0)
+		if err != nil {
+			failed.Store(true)
+			record(func(l *Ledger) { l.RecordFailedRun(dt) })
+			res[i] = BatchResult{Src: FromSimulation, Err: fmt.Errorf("core: pretrain point %d: %w", i, err)}
+			return
+		}
+		record(func(l *Ledger) { l.RecordSimulation(dt) })
+		res[i] = BatchResult{Y: y, Src: FromSimulation}
+	})
+	for _, r := range res {
+		if r.Err != nil {
+			return res, r.Err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,697 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// genSur is a deterministic published-generation stub: both outputs carry
+// the generation it was built with, so a reader can detect a torn swap as
+// a mismatch between the two.
+type genSur struct {
+	gen     float64
+	trained bool
+}
+
+func (g *genSur) Train(x, y *tensor.Matrix) error { g.trained = true; return nil }
+func (g *genSur) Trained() bool                   { return g.trained }
+func (g *genSur) Predict(x []float64) []float64   { return []float64{g.gen, g.gen} }
+func (g *genSur) PredictWithUQ(x []float64) (mean, std []float64) {
+	return []float64{g.gen, g.gen}, []float64{0, 0}
+}
+
+// gatedSur blocks inside Train until released, signalling entry — the
+// deterministic stand-in for a slow refit.
+type gatedSur struct {
+	genSur
+	started chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedSur) Train(x, y *tensor.Matrix) error {
+	close(g.started)
+	<-g.release
+	g.trained = true
+	return nil
+}
+
+func twoOutOracle() OracleFunc {
+	return OracleFunc{In: 2, Out: 2, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0], x[0]}, nil
+	}}
+}
+
+// TestShardedServesDuringRefit is the stall-free contract, proven without
+// timing assumptions: while a shard's refit is blocked inside Train,
+// queries keep being answered by the previously published model, and the
+// new model takes over only after the refit completes.
+func TestShardedServesDuringRefit(t *testing.T) {
+	gated := &gatedSur{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	gated.gen = 1
+	var calls atomic.Int64
+	factory := func() Surrogate {
+		if calls.Add(1) == 1 {
+			return &genSur{gen: 0}
+		}
+		return gated
+	}
+	w := NewShardedWrapper(twoOutOracle(), factory, ShardedConfig{
+		Shards: 1, UQThreshold: 1, MinTrainSamples: 1,
+	})
+	seed := tensor.FromRows([][]float64{{0.5, 0.5}})
+	seedY := tensor.FromRows([][]float64{{0.5, 0.5}})
+	if err := w.Ingest(seed, seedY); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	w.Refit() // background refit, blocked inside gated.Train
+	<-gated.started
+	for i := 0; i < 25; i++ {
+		y, src, _, err := w.Query([]float64{0.1, 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != FromSurrogate || y[0] != 0 || y[1] != 0 {
+			t.Fatalf("query during refit got src=%v y=%v; want old generation 0", src, y)
+		}
+	}
+	close(gated.release)
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	y, src, _, err := w.Query([]float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != FromSurrogate || y[0] != 1 {
+		t.Fatalf("query after refit got src=%v y=%v; want new generation 1", src, y)
+	}
+}
+
+// TestTrainAllWinsOverStaleRefit pins the generation-ordered publish: a
+// background refit that snapshotted before a TrainAll but finishes after
+// it must be discarded, not overwrite the newer model.
+func TestTrainAllWinsOverStaleRefit(t *testing.T) {
+	gated := &gatedSur{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	gated.gen = 1
+	var calls atomic.Int64
+	factory := func() Surrogate {
+		if calls.Add(1) == 1 {
+			return gated
+		}
+		return &genSur{gen: 2}
+	}
+	w := NewShardedWrapper(twoOutOracle(), factory, ShardedConfig{
+		Shards: 1, UQThreshold: 1, MinTrainSamples: 1,
+	})
+	if err := w.Ingest(
+		tensor.FromRows([][]float64{{0, 0}}),
+		tensor.FromRows([][]float64{{0, 0}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	w.Refit() // snapshot generation 0, blocked inside gated.Train
+	<-gated.started
+	if err := w.TrainAll(); err != nil { // snapshot generation 1, publishes gen 2
+		t.Fatal(err)
+	}
+	close(gated.release) // stale refit completes; its publish must lose
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	y, src, _, err := w.Query([]float64{0.1, 0.1})
+	if err != nil || src != FromSurrogate {
+		t.Fatalf("query failed: %v %v", src, err)
+	}
+	if y[0] != 2 {
+		t.Fatalf("stale refit overwrote newer model: serving generation %g want 2", y[0])
+	}
+}
+
+// TestShardedSwapNeverTorn hammers lookups from many goroutines while a
+// publisher swaps generations, asserting every reader observes a complete
+// model: both outputs agree, and the generations seen are nondecreasing
+// (single atomic pointer per shard). Run with -race.
+func TestShardedSwapNeverTorn(t *testing.T) {
+	var gen atomic.Int64
+	factory := func() Surrogate {
+		return &genSur{gen: float64(gen.Add(1))}
+	}
+	w := NewShardedWrapper(twoOutOracle(), factory, ShardedConfig{
+		Shards: 1, UQThreshold: 1, MinTrainSamples: 1,
+	})
+	if err := w.Ingest(
+		tensor.FromRows([][]float64{{0, 0}}),
+		tensor.FromRows([][]float64{{0, 0}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				y, src, _, err := w.Query([]float64{0.3, 0.7})
+				if err != nil || src != FromSurrogate {
+					t.Errorf("lookup failed mid-swap: src=%v err=%v", src, err)
+					return
+				}
+				if y[0] != y[1] {
+					t.Errorf("torn surrogate state observed: %v", y)
+					return
+				}
+				if y[0] < last {
+					t.Errorf("generation went backwards: %g after %g", y[0], last)
+					return
+				}
+				last = y[0]
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		w.Refit()
+		if err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRouters pins the routing contracts: determinism across instances,
+// full-range coverage for the hash router, and kd-bucket boundaries.
+func TestRouters(t *testing.T) {
+	rng := xrand.New(77)
+	h1 := HashRouter{Shards: 8}
+	h2 := HashRouter{Shards: 8}
+	hits := make([]int, 8)
+	for i := 0; i < 512; i++ {
+		x := []float64{rng.Range(-5, 5), rng.Range(-5, 5), rng.Range(-5, 5)}
+		s := h1.Route(x)
+		if s != h2.Route(x) {
+			t.Fatal("hash routing differs across router instances")
+		}
+		if s < 0 || s >= 8 {
+			t.Fatalf("hash route %d out of range", s)
+		}
+		hits[s]++
+	}
+	for s, n := range hits {
+		if n == 0 {
+			t.Fatalf("hash router never used shard %d over 512 points", s)
+		}
+	}
+	// Quantized hashing co-locates near-identical points.
+	q := HashRouter{Shards: 16, Quantum: 0.5}
+	if q.Route([]float64{1.01, 2.02}) != q.Route([]float64{1.24, 2.24}) {
+		t.Fatal("quantized hash split points inside one cell")
+	}
+
+	kd := KDRouter{Dim: 1, Cuts: []float64{-1, 0, 1}}
+	if kd.NumShards() != 4 {
+		t.Fatalf("kd shards %d want 4", kd.NumShards())
+	}
+	cases := map[float64]int{-5: 0, -1: 1, -0.5: 1, 0: 2, 0.99: 2, 1: 3, 7: 3}
+	for v, want := range cases {
+		if got := kd.Route([]float64{0, v}); got != want {
+			t.Fatalf("kd route(%g) = %d want %d", v, got, want)
+		}
+	}
+}
+
+// TestShardedRoutingDeterministicForSeed checks the serving pipeline is
+// reproducible: two identically seeded wrappers route identically and,
+// after identical training, predict identically.
+func TestShardedRoutingDeterministicForSeed(t *testing.T) {
+	build := func() *ShardedWrapper {
+		rng := xrand.New(1234)
+		factory := NewNNSurrogateFactory(2, 1, []int{8}, 0.1, rng, func(s *NNSurrogate) {
+			s.Epochs = 40
+			s.MCPasses = 5
+		})
+		return NewShardedWrapper(OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+			return []float64{x[0] + x[1]}, nil
+		}}, factory, ShardedConfig{Shards: 3, UQThreshold: 10, MinTrainSamples: 5})
+	}
+	a, b := build(), build()
+	rng := xrand.New(55)
+	xs := tensor.NewMatrix(60, 2)
+	ys := tensor.NewMatrix(60, 1)
+	for i := 0; i < 60; i++ {
+		xs.Set(i, 0, rng.Range(-1, 1))
+		xs.Set(i, 1, rng.Range(-1, 1))
+		ys.Set(i, 0, xs.At(i, 0)+xs.At(i, 1))
+	}
+	for i := 0; i < xs.Rows; i++ {
+		if a.Route(xs.Row(i)) != b.Route(xs.Row(i)) {
+			t.Fatal("routing differs between identically configured wrappers")
+		}
+	}
+	if err := a.Ingest(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Ingest(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.ShardSizes(), b.ShardSizes()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("shard sizes diverge: %v vs %v", sa, sb)
+		}
+	}
+	if err := a.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.25, -0.4}
+	ya, srcA, _, err := a.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, srcB, _, err := b.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcA != srcB || ya[0] != yb[0] {
+		t.Fatalf("identically seeded wrappers disagree: %v/%v vs %v/%v", ya, srcA, yb, srcB)
+	}
+}
+
+// shardGateStub serves rows with |x0| <= 2 (std 0) and rejects the rest
+// (std 1), mirroring the single-wrapper batch-semantics stub.
+type shardGateStub struct{ trained bool }
+
+func (s *shardGateStub) Train(x, y *tensor.Matrix) error { s.trained = true; return nil }
+func (s *shardGateStub) Trained() bool                   { return s.trained }
+func (s *shardGateStub) Predict(x []float64) []float64   { return []float64{42} }
+func (s *shardGateStub) PredictWithUQ(x []float64) (mean, std []float64) {
+	sd := 0.0
+	if math.Abs(x[0]) > 2 {
+		sd = 1
+	}
+	return []float64{42}, []float64{sd}
+}
+func (s *shardGateStub) PredictBatchWithUQ(x *tensor.Matrix) (mean, std *tensor.Matrix) {
+	mean = tensor.NewMatrix(x.Rows, 1)
+	std = tensor.NewMatrix(x.Rows, 1)
+	for i := 0; i < x.Rows; i++ {
+		m, sd := s.PredictWithUQ(x.Row(i))
+		mean.Set(i, 0, m[0])
+		std.Set(i, 0, sd[0])
+	}
+	return mean, std
+}
+
+// TestShardedQueryBatchSemantics pins routing, provenance and accounting
+// through the partitioned batch path with fan-out enabled.
+func TestShardedQueryBatchSemantics(t *testing.T) {
+	oracle := &atomicOracle{}
+	w := NewShardedWrapper(oracle, func() Surrogate { return &shardGateStub{} }, ShardedConfig{
+		Shards: 2, UQThreshold: 0.5, MinTrainSamples: 1, OracleWorkers: 4,
+	})
+	rng := xrand.New(91)
+	seedX := tensor.NewMatrix(16, 2)
+	seedY := tensor.NewMatrix(16, 1)
+	for i := 0; i < 16; i++ {
+		seedX.Set(i, 0, rng.Range(-2, 2))
+		seedX.Set(i, 1, rng.Range(-1, 1))
+		seedY.Set(i, 0, 1)
+	}
+	if err := w.Ingest(seedX, seedY); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range w.ShardSizes() {
+		if n == 0 {
+			t.Fatal("seed corpus left a shard empty; pick different seed points")
+		}
+	}
+	if err := w.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := w.TrainingSetSize()
+
+	batch := tensor.NewMatrix(16, 2)
+	for i := 0; i < 8; i++ { // in-gate rows
+		batch.Set(i, 0, rng.Range(-1, 1))
+		batch.Set(i, 1, rng.Range(-1, 1))
+	}
+	for i := 8; i < 16; i++ { // out-of-gate rows must simulate
+		batch.Set(i, 0, rng.Range(80, 100))
+		batch.Set(i, 1, rng.Range(80, 100))
+	}
+	res, err := w.QueryBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("row %d: %v", i, r.Err)
+		}
+		if i < 8 {
+			if r.Src != FromSurrogate || r.Y[0] != 42 {
+				t.Fatalf("in-gate row %d not served by surrogate: %+v", i, r)
+			}
+		} else {
+			if r.Src != FromSimulation {
+				t.Fatalf("out-of-gate row %d not simulated: %+v", i, r)
+			}
+			truth := math.Sin(batch.At(i, 0)) + 0.5*batch.At(i, 1)
+			if math.Abs(r.Y[0]-truth) > 1e-12 {
+				t.Fatalf("simulated row %d altered: %g want %g", i, r.Y[0], truth)
+			}
+		}
+	}
+	if got := oracle.calls.Load(); got != 8 {
+		t.Fatalf("oracle ran %d times want 8", got)
+	}
+	if grew := w.TrainingSetSize() - before; grew != 8 {
+		t.Fatalf("training set grew by %d want 8", grew)
+	}
+	led := w.Ledger()
+	if led.NLookup != 8 || led.NRejected != 8 || led.NTrain != 8 {
+		t.Fatalf("ledger accounting wrong: %+v", led)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// barrierOracle refuses to let any Run return until `need` calls are in
+// flight simultaneously — a deterministic witness of real fan-out.
+type barrierOracle struct {
+	need    int64
+	cur     atomic.Int64
+	release chan struct{}
+	once    sync.Once
+}
+
+func (o *barrierOracle) Dims() (int, int) { return 2, 1 }
+
+func (o *barrierOracle) Run(x []float64) ([]float64, error) {
+	if o.cur.Add(1) >= o.need {
+		o.once.Do(func() { close(o.release) })
+	}
+	select {
+	case <-o.release:
+		return []float64{x[0]}, nil
+	case <-time.After(10 * time.Second):
+		return nil, errors.New("fan-out never reached target concurrency")
+	}
+}
+
+// TestQueryBatchOracleFanout proves the rejected-row fallback really runs
+// oracles concurrently: with 4 workers and 4 misses, all 4 calls must be
+// in flight at once for any to complete.
+func TestQueryBatchOracleFanout(t *testing.T) {
+	oracle := &barrierOracle{need: 4, release: make(chan struct{})}
+	rng := xrand.New(17)
+	sur := NewNNSurrogate(2, 1, []int{4}, 0.1, rng)
+	w := NewWrapper(oracle, sur, WrapperConfig{
+		MinTrainSamples: 1 << 30, UQThreshold: 0.5, OracleWorkers: 4,
+	})
+	batch := tensor.NewMatrix(4, 2)
+	for i := range batch.Data {
+		batch.Data[i] = rng.Range(-1, 1)
+	}
+	res, err := w.QueryBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("row %d: %v", i, r.Err)
+		}
+		if r.Src != FromSimulation || r.Y[0] != batch.At(i, 0) {
+			t.Fatalf("row %d wrong answer %+v", i, r)
+		}
+	}
+}
+
+// TestShardedEndToEnd exercises the full NN pipeline under concurrency:
+// pretraining through the fan-out pool, concurrent Query/QueryBatch with
+// background refits, and clean Wait. Run with -race.
+func TestShardedEndToEnd(t *testing.T) {
+	rng := xrand.New(404)
+	oracle := &atomicOracle{}
+	factory := NewNNSurrogateFactory(2, 1, []int{24}, 0.1, rng, func(s *NNSurrogate) {
+		s.Epochs = 80
+		s.MCPasses = 8
+	})
+	w := NewShardedWrapper(oracle, factory, ShardedConfig{
+		Shards: 2, UQThreshold: 0.5, MinTrainSamples: 10,
+		RetrainEvery: 25, OracleWorkers: 4,
+	})
+	design := tensor.NewMatrix(120, 2)
+	for i := 0; i < 120; i++ {
+		design.Set(i, 0, rng.Range(-2, 2))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		t.Fatal(err)
+	}
+	if w.TrainingSetSize() != 120 {
+		t.Fatalf("pretrain stored %d samples want 120", w.TrainingSetSize())
+	}
+
+	var surrogateHits atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			grng := xrand.New(seed)
+			for it := 0; it < 20; it++ {
+				if it%3 == 0 {
+					batch := tensor.NewMatrix(8, 2)
+					for i := 0; i < batch.Rows; i++ {
+						scale := 1.0
+						if grng.Float64() < 0.15 {
+							scale = 50 // force fallbacks and background refits
+						}
+						batch.Set(i, 0, scale*grng.Range(-2, 2))
+						batch.Set(i, 1, scale*grng.Range(-1, 1))
+					}
+					res, err := w.QueryBatch(batch)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i, r := range res {
+						if r.Err != nil || len(r.Y) != 1 {
+							t.Errorf("row %d bad result %+v", i, r)
+							return
+						}
+						if r.Src == FromSurrogate {
+							surrogateHits.Add(1)
+						}
+					}
+				} else {
+					x := []float64{grng.Range(-2, 2), grng.Range(-1, 1)}
+					y, src, _, err := w.Query(x)
+					if err != nil || len(y) != 1 {
+						t.Errorf("query failed: %v %v", y, err)
+						return
+					}
+					if src == FromSurrogate {
+						surrogateHits.Add(1)
+					}
+				}
+			}
+		}(uint64(700 + g))
+	}
+	wg.Wait()
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if surrogateHits.Load() == 0 {
+		t.Fatal("no queries served by surrogates under concurrency")
+	}
+	led := w.Ledger()
+	if led.NLookup != int(surrogateHits.Load()) {
+		t.Fatalf("ledger lookups %d != observed surrogate answers %d", led.NLookup, surrogateHits.Load())
+	}
+	if got := w.TrainingSetSize(); got != led.NTrain {
+		t.Fatalf("training set size %d != ledger simulations %d", got, led.NTrain)
+	}
+}
+
+// TestShardedRefitFailureKeepsServing checks a failing background refit
+// surfaces through Wait while the previous model keeps serving.
+func TestShardedRefitFailureKeepsServing(t *testing.T) {
+	var calls atomic.Int64
+	trainErr := errors.New("synthetic divergence")
+	factory := func() Surrogate {
+		if calls.Add(1) == 1 {
+			return &genSur{gen: 7}
+		}
+		return &failSur{err: trainErr}
+	}
+	w := NewShardedWrapper(twoOutOracle(), factory, ShardedConfig{
+		Shards: 1, UQThreshold: 1, MinTrainSamples: 1,
+	})
+	if err := w.Ingest(
+		tensor.FromRows([][]float64{{0, 0}}),
+		tensor.FromRows([][]float64{{0, 0}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	w.Refit()
+	if err := w.Wait(); !errors.Is(err, trainErr) {
+		t.Fatalf("Wait returned %v want %v", err, trainErr)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatalf("second Wait should have cleared the error, got %v", err)
+	}
+	y, src, _, err := w.Query([]float64{0.1, 0.1})
+	if err != nil || src != FromSurrogate || y[0] != 7 {
+		t.Fatalf("failed refit disturbed serving: %v %v %v", y, src, err)
+	}
+}
+
+// gateGenSur carries a generation and rejects |x0| > 2, so tests can
+// steer rows between the surrogate and the oracle deterministically.
+type gateGenSur struct {
+	gen     float64
+	trained bool
+}
+
+func (g *gateGenSur) Train(x, y *tensor.Matrix) error { g.trained = true; return nil }
+func (g *gateGenSur) Trained() bool                   { return g.trained }
+func (g *gateGenSur) Predict(x []float64) []float64   { return []float64{g.gen, g.gen} }
+func (g *gateGenSur) PredictWithUQ(x []float64) (mean, std []float64) {
+	sd := 0.0
+	if math.Abs(x[0]) > 2 {
+		sd = 1
+	}
+	return []float64{g.gen, g.gen}, []float64{sd, sd}
+}
+
+// TestShardedFailedRefitKeepsRetrainCredit locks in the failure-path
+// accounting: a refit that errors gives back the RetrainEvery credit its
+// snapshot absorbed, so the very next sample retries instead of waiting
+// for a whole fresh window.
+func TestShardedFailedRefitKeepsRetrainCredit(t *testing.T) {
+	trainErr := errors.New("synthetic divergence")
+	var calls atomic.Int64
+	factory := func() Surrogate {
+		switch calls.Add(1) {
+		case 1:
+			return &gateGenSur{gen: 1}
+		case 2:
+			return &failSur{err: trainErr}
+		default:
+			return &gateGenSur{gen: 2}
+		}
+	}
+	w := NewShardedWrapper(twoOutOracle(), factory, ShardedConfig{
+		Shards: 1, UQThreshold: 0.5, MinTrainSamples: 1, RetrainEvery: 2,
+	})
+	// First oracle query trips the first fit (generation 1).
+	if _, _, _, err := w.Query([]float64{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Two more rejected queries reach RetrainEvery and spawn the failing
+	// refit; its credit must be restored.
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := w.Query([]float64{10, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Wait(); !errors.Is(err, trainErr) {
+		t.Fatalf("Wait returned %v want %v", err, trainErr)
+	}
+	// With the credit restored, a single further sample must retry the
+	// refit (which now succeeds and publishes generation 2).
+	if _, _, _, err := w.Query([]float64{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	y, src, _, err := w.Query([]float64{1, 0})
+	if err != nil || src != FromSurrogate {
+		t.Fatalf("in-gate query failed: %v %v", src, err)
+	}
+	if y[0] != 2 {
+		t.Fatalf("served generation %g want 2 (failed refit must retry on next sample)", y[0])
+	}
+}
+
+// TestPretrainAbortsEarlyKeepsSuccesses pins the pretrain fan-out cost
+// profile: a deterministic failure stops the campaign instead of burning
+// the remaining (expensive) runs, while samples already computed are kept
+// ("no run is wasted").
+func TestPretrainAbortsEarlyKeepsSuccesses(t *testing.T) {
+	var calls atomic.Int64
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		if calls.Add(1) == 3 {
+			return nil, errors.New("rig crashed")
+		}
+		return []float64{x[0]}, nil
+	}}
+	rng := xrand.New(33)
+	sur := NewNNSurrogate(2, 1, []int{4}, 0.1, rng)
+	w := NewWrapper(oracle, sur, WrapperConfig{MinTrainSamples: 1 << 30, UQThreshold: 1})
+	design := tensor.NewMatrix(10, 2)
+	for i := range design.Data {
+		design.Data[i] = rng.Range(-1, 1)
+	}
+	err := w.Pretrain(design)
+	if err == nil {
+		t.Fatal("pretrain swallowed the oracle failure")
+	}
+	// Sequential fallback (OracleWorkers unset): exactly 3 runs happened —
+	// the failure aborted the other 7.
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("oracle ran %d times want 3 (early abort)", got)
+	}
+	if got := w.TrainingSetSize(); got != 2 {
+		t.Fatalf("kept %d successful samples want 2", got)
+	}
+}
+
+// failSur always fails to train.
+type failSur struct{ err error }
+
+func (f *failSur) Train(x, y *tensor.Matrix) error { return f.err }
+func (f *failSur) Trained() bool                   { return false }
+func (f *failSur) Predict(x []float64) []float64   { panic("untrained") }
+func (f *failSur) PredictWithUQ(x []float64) (mean, std []float64) {
+	panic("untrained")
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -46,26 +48,44 @@ func NewEpiFastLike(net *Network, base DiseaseParams, weeks int, reportRate floa
 
 // Calibrate fits beta to the observed surveillance prefix (weeks
 // [0, uptoWeek)) and caches the calibrated model's mean forecast curves.
+//
+// The grid candidates are independent simulation fans, so they evaluate
+// concurrently over a bounded worker pool — the same parallel oracle
+// fan-out core's wrappers use for rejected batch rows. Replicate seeds are
+// pre-drawn in grid order from the calibration rng, so the result is
+// bit-identical to a sequential scan regardless of scheduling.
 func (e *EpiFastLike) Calibrate(surveillance []float64, uptoWeek int) error {
 	if uptoWeek < 2 || uptoWeek > len(surveillance) {
 		return fmt.Errorf("epi: calibration prefix %d invalid", uptoWeek)
 	}
 	rng := xrand.New(e.Seed)
-	bestScore := math.Inf(1)
-	for _, beta := range e.BetaGrid {
+	seeds := make([][]uint64, len(e.BetaGrid))
+	for bi := range e.BetaGrid {
+		seeds[bi] = make([]uint64, e.Replicates)
+		for rep := range seeds[bi] {
+			seeds[bi][rep] = rng.Uint64()
+		}
+	}
+
+	type candidate struct {
+		ok         bool
+		score      float64
+		countyMean [][]float64
+		stateMean  []float64
+	}
+	cands := make([]candidate, len(e.BetaGrid))
+	eval := func(bi int) {
 		dp := e.Base
-		dp.Beta = beta
+		dp.Beta = e.BetaGrid[bi]
 		countyMean := make([][]float64, e.Weeks)
 		stateMean := make([]float64, e.Weeks)
 		for w := range countyMean {
 			countyMean[w] = make([]float64, e.Net.Counties)
 		}
-		ok := true
 		for rep := 0; rep < e.Replicates; rep++ {
-			res, err := Simulate(e.Net, dp, e.Weeks, rng.Uint64())
+			res, err := Simulate(e.Net, dp, e.Weeks, seeds[bi][rep])
 			if err != nil {
-				ok = false
-				break
+				return
 			}
 			for w := 0; w < e.Weeks; w++ {
 				stateMean[w] += res.WeeklyState[w] / float64(e.Replicates)
@@ -74,9 +94,6 @@ func (e *EpiFastLike) Calibrate(surveillance []float64, uptoWeek int) error {
 				}
 			}
 		}
-		if !ok {
-			continue
-		}
 		// Score: RMSE between reported prefix and the model's *reported*
 		// prefix (apply the reporting rate to simulated incidence).
 		score := 0.0
@@ -84,11 +101,18 @@ func (e *EpiFastLike) Calibrate(surveillance []float64, uptoWeek int) error {
 			d := surveillance[w] - stateMean[w]*e.ReportRate
 			score += d * d
 		}
-		if score < bestScore {
-			bestScore = score
-			e.bestBeta = beta
-			e.forecastCounty = countyMean
-			e.forecastState = stateMean
+		cands[bi] = candidate{ok: true, score: score, countyMean: countyMean, stateMean: stateMean}
+	}
+
+	parallel.ForEachBounded(len(e.BetaGrid), runtime.GOMAXPROCS(0), eval)
+
+	bestScore := math.Inf(1)
+	for bi, c := range cands {
+		if c.ok && c.score < bestScore {
+			bestScore = c.score
+			e.bestBeta = e.BetaGrid[bi]
+			e.forecastCounty = c.countyMean
+			e.forecastState = c.stateMean
 		}
 	}
 	if math.IsInf(bestScore, 1) {

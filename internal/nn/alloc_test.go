@@ -67,6 +67,130 @@ func TestPredictorForwardZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestAdamStepZeroAlloc pins the optimizer hot-path contract: after the
+// first Step initializes the moment buffers, the fused update allocates
+// nothing.
+func TestAdamStepZeroAlloc(t *testing.T) {
+	rng := xrand.New(12)
+	net := NewMLP(rng, Tanh, 0, 8, 16, 4)
+	params := net.Params()
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.Range(-1, 1)
+		}
+	}
+	opt := NewAdam(1e-3)
+	opt.Step(params) // warm up m/v buffers
+	if allocs := testing.AllocsPerRun(50, func() { opt.Step(params) }); allocs != 0 {
+		t.Fatalf("steady-state Adam.Step allocates %g times per step, want 0", allocs)
+	}
+}
+
+// TestAdamFusedMatchesReference checks the fused one-pass update against a
+// direct transcription of the Adam formulas.
+func TestAdamFusedMatchesReference(t *testing.T) {
+	rng := xrand.New(13)
+	val := tensor.NewMatrix(3, 4)
+	grad := tensor.NewMatrix(3, 4)
+	for i := range val.Data {
+		val.Data[i] = rng.Range(-1, 1)
+	}
+	ref := val.Clone()
+	refM := tensor.NewMatrix(3, 4)
+	refV := tensor.NewMatrix(3, 4)
+	opt := NewAdam(1e-2)
+	params := []ParamPair{{Value: val, Grad: grad}}
+	for step := 1; step <= 5; step++ {
+		for i := range grad.Data {
+			grad.Data[i] = rng.Range(-1, 1)
+		}
+		opt.Step(params)
+		c1 := 1 - math.Pow(opt.Beta1, float64(step))
+		c2 := 1 - math.Pow(opt.Beta2, float64(step))
+		for k := range ref.Data {
+			g := grad.Data[k]
+			refM.Data[k] = opt.Beta1*refM.Data[k] + (1-opt.Beta1)*g
+			refV.Data[k] = opt.Beta2*refV.Data[k] + (1-opt.Beta2)*g*g
+			ref.Data[k] -= opt.LR * (refM.Data[k] / c1) / (math.Sqrt(refV.Data[k]/c2) + opt.Eps)
+		}
+	}
+	if !tensor.Equal(val, ref, 1e-12) {
+		t.Fatal("fused Adam diverged from reference formulas")
+	}
+}
+
+// TestSoftmaxCrossEntropyZeroAlloc pins the scratch-buffer path: after the
+// first call, Value and Grad allocate nothing per row.
+func TestSoftmaxCrossEntropyZeroAlloc(t *testing.T) {
+	rng := xrand.New(14)
+	pred := tensor.NewMatrix(16, 5)
+	target := tensor.NewMatrix(16, 5)
+	for i := range pred.Data {
+		pred.Data[i] = rng.Range(-2, 2)
+	}
+	for i := 0; i < target.Rows; i++ {
+		target.Set(i, i%target.Cols, 1)
+	}
+	loss := &SoftmaxCrossEntropy{}
+	dst := tensor.NewMatrix(16, 5)
+	loss.Value(pred, target) // warm up scratch
+	loss.Grad(dst, pred, target)
+	allocs := testing.AllocsPerRun(50, func() {
+		loss.Value(pred, target)
+		loss.Grad(dst, pred, target)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state softmax-xent Value+Grad allocates %g times, want 0", allocs)
+	}
+}
+
+// TestNetworkSnapshotIndependence checks the double-buffering primitive: a
+// snapshot predicts identically to its source, and further training of the
+// source does not change the snapshot's predictions.
+func TestNetworkSnapshotIndependence(t *testing.T) {
+	rng := xrand.New(15)
+	net := NewMLP(rng, Tanh, 0, 3, 12, 2)
+	x := tensor.NewMatrix(6, 3)
+	y := tensor.NewMatrix(6, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.Range(-1, 1)
+	}
+	if _, err := net.Fit(x, y, TrainConfig{Epochs: 5, BatchSize: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap := net.Snapshot()
+	probe := []float64{0.3, -0.2, 0.8}
+	want := net.Predict(probe)
+	got := snap.Predict(probe)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("snapshot prediction %v differs from source %v", got, want)
+		}
+	}
+	if _, err := net.Fit(x, y, TrainConfig{Epochs: 20, BatchSize: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after := snap.Predict(probe)
+	for j := range want {
+		if after[j] != want[j] {
+			t.Fatal("training the source mutated the snapshot")
+		}
+	}
+	moved := net.Predict(probe)
+	same := true
+	for j := range want {
+		if moved[j] != want[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("source did not move after training; independence test vacuous")
+	}
+}
+
 // TestDenseTrainingInputIsCopied locks in the aliasing fix: mutating the
 // caller's batch buffer between Forward and Backward must not corrupt
 // the cached activations the gradients are computed from.

@@ -323,36 +323,56 @@ func (MSE) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
 }
 
 // SoftmaxCrossEntropy applies a softmax over each output row and scores it
-// against one-hot (or soft) target rows with cross entropy.
-type SoftmaxCrossEntropy struct{}
+// against one-hot (or soft) target rows with cross entropy. Like MSE it is
+// hot-loop friendly: the per-row softmax runs through an owned scratch
+// buffer, so after the first call Value and Grad allocate nothing. A
+// SoftmaxCrossEntropy value must therefore not be shared across concurrent
+// Fit calls; give each training loop its own (the zero value is ready).
+type SoftmaxCrossEntropy struct {
+	probs []float64 // owned softmax scratch row
+}
 
 // Name implements Loss.
-func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+func (*SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
 
-func softmaxRow(row []float64) []float64 {
+// scratch returns the owned n-wide softmax row, growing it on first use.
+func (sx *SoftmaxCrossEntropy) scratch(n int) []float64 {
+	if cap(sx.probs) < n {
+		sx.probs = make([]float64, n)
+	}
+	return sx.probs[:n]
+}
+
+// softmaxRowInto writes softmax(row) into dst (same length) and returns it.
+func softmaxRowInto(dst, row []float64) []float64 {
 	m := row[0]
 	for _, v := range row[1:] {
 		if v > m {
 			m = v
 		}
 	}
-	out := make([]float64, len(row))
 	sum := 0.0
 	for i, v := range row {
-		out[i] = math.Exp(v - m)
-		sum += out[i]
+		dst[i] = math.Exp(v - m)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
+}
+
+// softmaxRow returns softmax(row) as a fresh slice.
+func softmaxRow(row []float64) []float64 {
+	return softmaxRowInto(make([]float64, len(row)), row)
 }
 
 // Value implements Loss.
-func (SoftmaxCrossEntropy) Value(pred, target *tensor.Matrix) float64 {
+func (sx *SoftmaxCrossEntropy) Value(pred, target *tensor.Matrix) float64 {
 	s := 0.0
+	buf := sx.scratch(pred.Cols)
 	for i := 0; i < pred.Rows; i++ {
-		p := softmaxRow(pred.Row(i))
+		p := softmaxRowInto(buf, pred.Row(i))
 		trow := target.Row(i)
 		for j := range p {
 			if trow[j] > 0 {
@@ -364,13 +384,14 @@ func (SoftmaxCrossEntropy) Value(pred, target *tensor.Matrix) float64 {
 }
 
 // Grad implements Loss.
-func (SoftmaxCrossEntropy) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
+func (sx *SoftmaxCrossEntropy) Grad(dst, pred, target *tensor.Matrix) *tensor.Matrix {
 	if dst == nil {
 		dst = tensor.NewMatrix(pred.Rows, pred.Cols)
 	}
 	inv := 1 / float64(pred.Rows)
+	buf := sx.scratch(pred.Cols)
 	for i := 0; i < pred.Rows; i++ {
-		p := softmaxRow(pred.Row(i))
+		p := softmaxRowInto(buf, pred.Row(i))
 		trow := target.Row(i)
 		grow := dst.Row(i)
 		for j := range p {
@@ -392,9 +413,9 @@ type Network struct {
 	Layers []Layer
 	rng    *xrand.Rand
 
-	predPool sync.Pool   // *Predictor
-	predOnce sync.Once   // seeds predBase from rng on first use
-	predBase uint64      // base seed for predictor rng streams
+	predPool sync.Pool // *Predictor
+	predOnce sync.Once // seeds predBase from rng on first use
+	predBase uint64    // base seed for predictor rng streams
 	predCtr  atomic.Uint64
 }
 

@@ -115,7 +115,7 @@ func TestGradientCheckCrossEntropy(t *testing.T) {
 	net := NewMLP(rng, Tanh, 0, 4, 6, 3)
 	x := tensor.FromRows([][]float64{{0.1, -0.5, 0.7, 0.2}, {0.9, 0.4, -0.3, -0.8}})
 	y := tensor.FromRows([][]float64{{1, 0, 0}, {0, 0, 1}})
-	loss := SoftmaxCrossEntropy{}
+	loss := &SoftmaxCrossEntropy{}
 	net.ZeroGrad()
 	pred := net.Forward(x, true)
 	net.Backward(loss.Grad(nil, pred, y))

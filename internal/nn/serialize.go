@@ -88,6 +88,21 @@ func (n *Network) CloneArchitecture(rng *xrand.Rand) *Network {
 	return NewNetwork(rng, layers...)
 }
 
+// Snapshot returns an independent deep copy of the network: the same
+// architecture and current weights, fresh workspaces, and its own
+// deterministic dropout-rng stream derived from the parent. The copy
+// shares no mutable state with the original, so one side can train (or be
+// discarded) while the other serves — the publication primitive behind
+// double-buffered surrogate serving. Like all inference entry points it
+// must not race with concurrent training on the source network.
+func (n *Network) Snapshot() *Network {
+	c := n.CloneArchitecture(xrand.New(n.predictorSeed()))
+	if err := c.CopyWeightsFrom(n); err != nil {
+		panic(fmt.Sprintf("nn: snapshot of own architecture failed: %v", err))
+	}
+	return c
+}
+
 // CopyWeightsFrom copies parameter values from src into n; architectures
 // must match exactly.
 func (n *Network) CopyWeightsFrom(src *Network) error {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -61,7 +62,10 @@ func NewAdam(lr float64) *Adam {
 // Name implements Optimizer.
 func (a *Adam) Name() string { return "adam" }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The moment updates and bias-corrected
+// parameter step are fused into one pass per parameter matrix over the
+// preallocated m/v buffers; after the first call (which allocates those
+// buffers) Step performs zero heap allocations.
 func (a *Adam) Step(params []ParamPair) {
 	if a.m == nil {
 		a.m = make([]*tensor.Matrix, len(params))
@@ -72,18 +76,30 @@ func (a *Adam) Step(params []ParamPair) {
 		}
 	}
 	a.t++
-	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
-	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	invC1 := 1 / (1 - math.Pow(a.Beta1, float64(a.t)))
+	invC2 := 1 / (1 - math.Pow(a.Beta2, float64(a.t)))
 	for i, p := range params {
-		m, v := a.m[i], a.v[i]
-		for k := range p.Value.Data {
-			g := p.Grad.Data[k]
-			m.Data[k] = a.Beta1*m.Data[k] + (1-a.Beta1)*g
-			v.Data[k] = a.Beta2*v.Data[k] + (1-a.Beta2)*g*g
-			mHat := m.Data[k] / c1
-			vHat := v.Data[k] / c2
-			p.Value.Data[k] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
-		}
+		adamStep(p.Value.Data, p.Grad.Data, a.m[i].Data, a.v[i].Data,
+			a.LR, a.Beta1, a.Beta2, a.Eps, invC1, invC2)
+	}
+}
+
+// adamStep applies one fused Adam update: moment EMAs, bias correction and
+// the parameter step in a single sweep. Hoisting the per-step constants and
+// replacing the two bias-correction divisions with multiplications keeps
+// the loop at one sqrt and one division per element.
+func adamStep(val, grad, m, v []float64, lr, beta1, beta2, eps, invC1, invC2 float64) {
+	grad = grad[:len(val)] // bounds-check elimination hints
+	m = m[:len(val)]
+	v = v[:len(val)]
+	g1, g2 := 1-beta1, 1-beta2
+	for k := range val {
+		g := grad[k]
+		mk := beta1*m[k] + g1*g
+		vk := beta2*v[k] + g2*g*g
+		m[k] = mk
+		v[k] = vk
+		val[k] -= lr * (mk * invC1) / (math.Sqrt(vk*invC2) + eps)
 	}
 }
 
@@ -202,6 +218,13 @@ func (n *Network) Fit(x, y *tensor.Matrix, cfg TrainConfig) (*History, error) {
 			batches++
 			n.Backward(cfg.Loss.Grad(gb.Reshape(bs, y.Cols), pred, by))
 			cfg.Optimizer.Step(params)
+			// Cooperative backgrounding: on oversubscribed machines a
+			// refit otherwise monopolizes a core for tens of
+			// milliseconds, which is exactly the serving stall the
+			// double-buffered wrappers exist to avoid. One scheduler
+			// yield per minibatch (~100ns against a ~100µs step) caps
+			// the latency a concurrent server sees at one batch step.
+			runtime.Gosched()
 		}
 		epochLoss /= float64(batches)
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)

@@ -1,0 +1,38 @@
+package parallel
+
+import "sync"
+
+// ForEachBounded runs f(i) for every i in [0, n) using at most workers
+// concurrent goroutines — the bounded fan-out idiom shared by the
+// wrappers' oracle fallback pools, committee training and calibration
+// grid scans. workers is clamped to n; workers <= 1 runs inline on the
+// caller's goroutine with no spawns. f must handle its own error
+// propagation (e.g. write into an index-owned results slot) and must not
+// panic across goroutines. ForEachBounded returns once every f call has.
+func ForEachBounded(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

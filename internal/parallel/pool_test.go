@@ -1,0 +1,44 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachBoundedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 100
+		seen := make([]atomic.Int32, n)
+		ForEachBounded(n, workers, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBoundedConcurrencyCap(t *testing.T) {
+	var cur, peak atomic.Int32
+	ForEachBounded(64, 4, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("observed %d concurrent calls, cap is 4", p)
+	}
+}
+
+func TestForEachBoundedZeroItems(t *testing.T) {
+	called := false
+	ForEachBounded(0, 8, func(i int) { called = true })
+	if called {
+		t.Fatal("callback invoked for empty range")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -213,10 +215,18 @@ func NewCommittee(size int, sf *SymmetryFunctions, hidden []int, rng *xrand.Rand
 	return com
 }
 
-// Fit trains every member on the same data.
+// Fit trains every member on the same data. Members are independent
+// networks with their own rng streams and workspaces, so their fits run
+// concurrently over a bounded worker pool (the same serving-while-training
+// fan-out pattern core's sharded wrapper uses); results are identical to a
+// sequential fit regardless of scheduling.
 func (c *Committee) Fit(configs []*Configuration, energies []float64) error {
-	for i, m := range c.Members {
-		if err := m.Fit(configs, energies); err != nil {
+	errs := make([]error, len(c.Members))
+	parallel.ForEachBounded(len(c.Members), runtime.GOMAXPROCS(0), func(i int) {
+		errs[i] = c.Members[i].Fit(configs, energies)
+	})
+	for i, err := range errs {
+		if err != nil {
 			return fmt.Errorf("potential: committee member %d: %w", i, err)
 		}
 	}

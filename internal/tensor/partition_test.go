@@ -1,0 +1,91 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestAppendRow(t *testing.T) {
+	m := NewMatrix(0, 3)
+	m.AppendRow([]float64{1, 2, 3})
+	m.AppendRow([]float64{4, 5, 6})
+	if m.Rows != 2 || m.At(1, 2) != 6 {
+		t.Fatalf("append built %dx%d with %v", m.Rows, m.Cols, m.Data)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged AppendRow did not panic")
+		}
+	}()
+	m.AppendRow([]float64{7})
+}
+
+func TestGatherRowsInto(t *testing.T) {
+	src := FromRows([][]float64{{0, 1}, {10, 11}, {20, 21}, {30, 31}})
+	got := GatherRowsInto(nil, src, []int{3, 1})
+	want := FromRows([][]float64{{30, 31}, {10, 11}})
+	if !Equal(got, want, 0) {
+		t.Fatalf("gather got %v", got.Data)
+	}
+	// Reuse path: a larger previous buffer must reshape, not reallocate.
+	buf := NewMatrix(4, 2)
+	data := &buf.Data[0]
+	out := GatherRowsInto(buf, src, []int{0})
+	if out.Rows != 1 || out.At(0, 1) != 1 {
+		t.Fatalf("reused gather wrong: %v", out.Data)
+	}
+	if &out.Data[0] != data {
+		t.Fatal("gather into smaller shape reallocated")
+	}
+	// Empty index set yields a 0-row matrix.
+	if e := GatherRowsInto(nil, src, nil); e.Rows != 0 || e.Cols != 2 {
+		t.Fatalf("empty gather %dx%d", e.Rows, e.Cols)
+	}
+}
+
+// TestParallelTuningVars locks in that the fan-out heuristic derives from
+// the settable package vars and that kernel results do not depend on the
+// fan-out decision.
+func TestParallelTuningVars(t *testing.T) {
+	oldW, oldT := ParallelWorkers, ParallelFlopThreshold
+	defer func() { ParallelWorkers, ParallelFlopThreshold = oldW, oldT }()
+
+	ParallelWorkers = 1
+	if useParallel(1024, 1<<30) {
+		t.Fatal("single worker must never fan out")
+	}
+	ParallelWorkers = 8
+	ParallelFlopThreshold = 100
+	if !useParallel(64, 101) {
+		t.Fatal("work above threshold with workers available should fan out")
+	}
+	if useParallel(1, 101) {
+		t.Fatal("single-row kernels cannot shard")
+	}
+
+	// Same product computed inline and fanned out must agree exactly
+	// (identical per-row arithmetic, only the scheduling differs).
+	a := NewMatrix(16, 12)
+	b := NewMatrix(12, 8)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) - 3
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i%5) - 2
+	}
+	ParallelFlopThreshold = 1 << 60 // force inline
+	inline := MatMul(a, b)
+	ParallelFlopThreshold = 1 // force fan-out
+	fanned := MatMul(a, b)
+	if !Equal(inline, fanned, 0) {
+		t.Fatal("fan-out changed matmul result")
+	}
+}
+
+func TestDefaultFlopThreshold(t *testing.T) {
+	if got := defaultFlopThreshold(1); got != 32*32*32 {
+		t.Fatalf("1-core threshold %d want %d", got, 32*32*32)
+	}
+	if got := defaultFlopThreshold(16); got != 8192*16 {
+		t.Fatalf("16-core threshold %d want %d", got, 8192*16)
+	}
+}

@@ -107,6 +107,36 @@ func (m *Matrix) Reshape(rows, cols int) *Matrix {
 	return m
 }
 
+// AppendRow appends one row (len == Cols) to m, growing the backing slice
+// amortized-geometrically. Views previously taken with SliceRows remain
+// valid but may stop aliasing m after a growth reallocation. Appending to
+// a SliceRows view itself is safe for the parent — the view's capacity is
+// clamped to its own rows, so the append reallocates instead of growing
+// into the parent's data.
+func (m *Matrix) AppendRow(row []float64) {
+	if len(row) != m.Cols {
+		panic(fmt.Sprintf("tensor: append row of len %d to %d-col matrix", len(row), m.Cols))
+	}
+	m.Data = append(m.Data, row...)
+	m.Rows++
+}
+
+// GatherRowsInto copies the rows of src indexed by idx into dst, reshaping
+// dst to len(idx) x src.Cols, and returns dst. A nil dst allocates. This is
+// the row-partition kernel sharded serving uses to assemble per-shard
+// batches without per-row allocations.
+func GatherRowsInto(dst, src *Matrix, idx []int) *Matrix {
+	if dst == nil {
+		dst = NewMatrix(len(idx), src.Cols)
+	} else {
+		dst.Reshape(len(idx), src.Cols)
+	}
+	for k, i := range idx {
+		copy(dst.Row(k), src.Row(i))
+	}
+	return dst
+}
+
 // SliceRows returns a view of rows [lo,hi) sharing m's backing array.
 // Mutations through the view are visible in m and vice versa.
 func (m *Matrix) SliceRows(lo, hi int) *Matrix {
@@ -278,17 +308,44 @@ func matMulABTRange(dst, a, b *Matrix, lo, hi int) {
 	}
 }
 
+// Matmul fan-out tuning. The original 32³-flop threshold was calibrated on
+// a 1-core container where fan-out never pays; on real multi-core boxes the
+// break-even point scales with how many goroutines a kernel spawns, since
+// each spawn costs on the order of a microsecond. Both knobs are plain
+// package vars so deployments (and tests) can retune without recompiling;
+// they are read at kernel entry, so set them before issuing work, not
+// concurrently with it.
+var (
+	// ParallelWorkers is the fan-out width for row-sharded kernels.
+	// Defaults to GOMAXPROCS at init.
+	ParallelWorkers = runtime.GOMAXPROCS(0)
+	// ParallelFlopThreshold is the minimum multiply-accumulate count at
+	// which a kernel fans out instead of running inline. Defaults to
+	// ~8Ki flops per potential worker, floored at the classic 32³.
+	ParallelFlopThreshold = defaultFlopThreshold(runtime.GOMAXPROCS(0))
+)
+
+// defaultFlopThreshold derives the fan-out break-even point from the worker
+// count: more workers mean more spawn overhead per call, so demand
+// proportionally more total work before paying it.
+func defaultFlopThreshold(workers int) int {
+	if t := 8192 * workers; t > 32*32*32 {
+		return t
+	}
+	return 32 * 32 * 32
+}
+
 // useParallel reports whether a row-sharded kernel should fan out: the
 // fan-out (goroutine spawns plus one closure allocation) only pays for
 // itself on multi-core machines with enough flops per call. Below the
 // threshold kernels run inline and allocation-free.
 func useParallel(rows, work int) bool {
-	return work >= 32*32*32 && rows > 1 && runtime.GOMAXPROCS(0) > 1
+	return work >= ParallelFlopThreshold && rows > 1 && ParallelWorkers > 1
 }
 
-// parallelRanges splits [0,rows) across GOMAXPROCS goroutines.
+// parallelRanges splits [0,rows) across up to ParallelWorkers goroutines.
 func parallelRanges(rows int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := ParallelWorkers
 	if workers > rows {
 		workers = rows
 	}

@@ -127,6 +127,24 @@ func (ls *LearnedStencil) Train(proto *Field, fineSolver *Solver, tc TrainConfig
 	return nil
 }
 
+// Snapshot returns an independent trained stencil: a deep copy of the
+// network weights with its own inference workspaces. The original can keep
+// training (or be discarded) while snapshots serve; give each goroutine
+// its own snapshot to run Advance in parallel — orders of magnitude
+// cheaper than retraining per goroutine.
+func (ls *LearnedStencil) Snapshot() *LearnedStencil {
+	if !ls.trained {
+		panic("tissue: Snapshot of untrained stencil")
+	}
+	return &LearnedStencil{
+		K: ls.K, Patch: ls.Patch, Hidden: ls.Hidden,
+		net:     ls.net.Snapshot(),
+		scaler:  ls.scaler, // read-only after Train
+		trained: true,
+		rng:     ls.rng.Split(),
+	}
+}
+
 // Advance implements MacroStepper: each call jumps the field K micro-steps
 // using one learned sweep. k must be a multiple of K. The sweep reuses
 // stencil-owned workspaces, so a LearnedStencil is NOT safe for

@@ -2,6 +2,7 @@ package tissue
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -275,6 +276,48 @@ func TestLearnedStencilApproximatesFineSolver(t *testing.T) {
 	}
 	if res.ExplicitSteps != 24 || res.SurrogateJumps != 3 {
 		t.Fatalf("bookkeeping wrong: %+v", res)
+	}
+}
+
+// TestLearnedStencilSnapshot checks snapshots advance fields identically
+// to the original and stay independent: concurrent snapshot sweeps (which
+// would race on the original's shared workspaces) produce exactly the
+// sequential result. Run with -race.
+func TestLearnedStencilSnapshot(t *testing.T) {
+	fine := NewField(24, 24, 1)
+	params := PDEParams{Diff: 0.4, VX: 0, VY: 0, Decay: 0.01, Dt: 0.2}
+	ls := NewLearnedStencil(4, 1, 0, xrand.New(7))
+	tc := DefaultTrainConfig()
+	tc.Fields = 6
+	tc.Epochs = 60
+	if err := ls.Train(fine, NewSolver(params, fine), tc); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Field {
+		f := NewField(12, 12, 1)
+		f.GaussianBump(6, 6, 2, 1)
+		return f
+	}
+	want := mk()
+	ls.Advance(want, ls.K)
+
+	const workers = 4
+	fields := make([]*Field, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		snap := ls.Snapshot()
+		fields[i] = mk()
+		go func(s *LearnedStencil, f *Field) {
+			defer wg.Done()
+			s.Advance(f, s.K)
+		}(snap, fields[i])
+	}
+	wg.Wait()
+	for i, f := range fields {
+		if d := L2Diff(want, f); d != 0 {
+			t.Fatalf("snapshot %d diverged from original by %g", i, d)
+		}
 	}
 }
 

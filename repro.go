@@ -15,6 +15,15 @@
 //	y, src, uq, err := w.Query(x) // simulation first, surrogate once trusted
 //	res, err := w.QueryBatch(xs)  // amortized batched serving, concurrency-safe
 //	fmt.Println(w.Ledger().EffectiveSpeedup(1))
+//
+// For serving under heavy traffic, NewShardedWrapper partitions the input
+// space and double-buffers each shard's surrogate so background refits
+// never stall readers, fanning oracle fallbacks over a worker pool:
+//
+//	fac := repro.NewNNSurrogateFactory(2, 1, []int{30, 48}, 0.1, rng, nil)
+//	sw := repro.NewShardedWrapper(oracle, fac, repro.ShardedConfig{
+//		Shards: 8, UQThreshold: 0.05, RetrainEvery: 200, OracleWorkers: 8,
+//	})
 package repro
 
 import (
@@ -41,6 +50,20 @@ type (
 	Wrapper = core.Wrapper
 	// WrapperConfig tunes the wrapper.
 	WrapperConfig = core.WrapperConfig
+	// ShardedWrapper is the stall-free serving runtime: input-space
+	// shards, double-buffered surrogates published by atomic swap, and
+	// bounded parallel oracle fan-out.
+	ShardedWrapper = core.ShardedWrapper
+	// ShardedConfig tunes the sharded wrapper.
+	ShardedConfig = core.ShardedConfig
+	// Router assigns input points to shards.
+	Router = core.Router
+	// HashRouter partitions by a (optionally quantized) coordinate hash.
+	HashRouter = core.HashRouter
+	// KDRouter buckets along one input dimension by cut points.
+	KDRouter = core.KDRouter
+	// SurrogateFactory builds fresh surrogates for double-buffered refits.
+	SurrogateFactory = core.SurrogateFactory
 	// Ledger is the effective-performance accounting record.
 	Ledger = core.Ledger
 	// Source tells which path answered a query.
@@ -94,6 +117,18 @@ func NewNNSurrogate(in, out int, hidden []int, dropout float64, rng *Rand) *NNSu
 // NewWrapper wraps an oracle with a UQ-gated surrogate.
 func NewWrapper(oracle Oracle, surrogate Surrogate, cfg WrapperConfig) *Wrapper {
 	return core.NewWrapper(oracle, surrogate, cfg)
+}
+
+// NewShardedWrapper wraps an oracle with sharded, double-buffered
+// surrogates: retraining never stalls serving (see ShardedWrapper).
+func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfig) *ShardedWrapper {
+	return core.NewShardedWrapper(oracle, factory, cfg)
+}
+
+// NewNNSurrogateFactory returns a factory of independently seeded
+// reference NN surrogates for use with NewShardedWrapper.
+func NewNNSurrogateFactory(in, out int, hidden []int, dropout float64, rng *Rand, configure func(*NNSurrogate)) SurrogateFactory {
+	return core.NewNNSurrogateFactory(in, out, hidden, dropout, rng, configure)
 }
 
 // EffectiveSpeedup evaluates the paper's §III-D formula.

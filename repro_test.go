@@ -39,6 +39,54 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+// TestFacadeShardedServing exercises the stall-free serving API end to
+// end through the facade: factory, pretrain, batch serving, Wait.
+func TestFacadeShardedServing(t *testing.T) {
+	rng := NewRand(2)
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0] - x[1]}, nil
+	}}
+	fac := NewNNSurrogateFactory(2, 1, []int{16}, 0.1, rng, func(s *NNSurrogate) {
+		s.Epochs = 100
+		s.MCPasses = 8
+	})
+	w := NewShardedWrapper(oracle, fac, ShardedConfig{
+		Shards: 2, UQThreshold: 0.3, MinTrainSamples: 10, RetrainEvery: 30, OracleWorkers: 2,
+	})
+	design := NewMatrix(80, 2)
+	for i := 0; i < design.Rows; i++ {
+		design.Set(i, 0, rng.Range(-1, 1))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		t.Fatal(err)
+	}
+	batch := NewMatrix(32, 2)
+	for i := 0; i < batch.Rows; i++ {
+		batch.Set(i, 0, rng.Range(-1, 1))
+		batch.Set(i, 1, rng.Range(-1, 1))
+	}
+	res, err := w.QueryBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("row %d: %v", i, r.Err)
+		}
+		if r.Src == FromSurrogate {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("sharded facade never served from a surrogate")
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFacadeEffectiveSpeedup(t *testing.T) {
 	s := EffectiveSpeedup(100, 100, 1, 0.01, 1000, 10)
 	want := 100.0 * 1010 / (0.01*1000 + 101*10)

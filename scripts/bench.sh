@@ -15,7 +15,7 @@ if [[ -z "$out" ]]; then
   out="BENCH_${n}.json"
 fi
 
-benches='BenchmarkTrainEpoch$|BenchmarkDenseForwardBackward|BenchmarkQueryBatch$|BenchmarkQueryLoop'
+benches='BenchmarkTrainEpoch$|BenchmarkDenseForwardBackward|BenchmarkQueryBatch$|BenchmarkQueryLoop|BenchmarkQueryDuringRetrain|BenchmarkOracleFanout'
 raw=$(go test -run=NONE -bench="$benches" -benchtime=1s -count=1 .)
 echo "$raw"
 
@@ -23,15 +23,19 @@ echo "$raw" | awk -v out="$out" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; p50 = ""; p99 = ""
     for (i = 2; i < NF; i++) {
       if ($(i + 1) == "ns/op") ns = $i
       if ($(i + 1) == "B/op") bytes = $i
       if ($(i + 1) == "allocs/op") allocs = $i
+      if ($(i + 1) == "p50-ns") p50 = $i
+      if ($(i + 1) == "p99-ns") p99 = $i
     }
     if (ns != "") {
-      entries[++n] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+      entry = sprintf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
         name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+      if (p50 != "") entry = entry sprintf(", \"p50_ns\": %s, \"p99_ns\": %s", p50, p99)
+      entries[++n] = entry "}"
     }
   }
   END {

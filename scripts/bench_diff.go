@@ -1,0 +1,138 @@
+// bench_diff compares the last two BENCH_<n>.json snapshots written by
+// scripts/bench.sh and exits nonzero when any benchmark present in both
+// regressed by more than the tolerance in ns/op — the CI trip-wire behind
+// the repo's perf trajectory.
+//
+// Usage:
+//
+//	go run ./scripts/bench_diff.go [-tol 15] [-dir .] [old.json new.json]
+//
+// With no positional arguments it discovers the two highest-numbered
+// BENCH_<n>.json files in -dir and compares them in order.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type benchEntry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	P50Ns       *float64 `json:"p50_ns"`
+	P99Ns       *float64 `json:"p99_ns"`
+}
+
+func loadSnapshot(path string) (map[string]benchEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap map[string]benchEntry
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// lastTwoSnapshots returns the two highest-n BENCH_<n>.json paths in dir,
+// oldest first.
+func lastTwoSnapshots(dir string) (older, newer string, err error) {
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	var ns []int
+	for _, e := range entries {
+		if m := re.FindStringSubmatch(e.Name()); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			ns = append(ns, n)
+		}
+	}
+	if len(ns) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<n>.json snapshots in %s, found %d", dir, len(ns))
+	}
+	sort.Ints(ns)
+	older = filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", ns[len(ns)-2]))
+	newer = filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", ns[len(ns)-1]))
+	return older, newer, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 15, "max allowed ns/op regression, percent")
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = lastTwoSnapshots(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench_diff:", err)
+			os.Exit(2)
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: bench_diff [-tol pct] [-dir path] [old.json new.json]")
+		os.Exit(2)
+	}
+
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_diff:", err)
+		os.Exit(2)
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_diff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newSnap))
+	for name := range newSnap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("bench_diff: %s -> %s (tolerance %.0f%%)\n", oldPath, newPath, *tol)
+	regressions := 0
+	for _, name := range names {
+		nw := newSnap[name]
+		od, ok := oldSnap[name]
+		if !ok {
+			fmt.Printf("  NEW   %-50s %12.0f ns/op\n", name, nw.NsPerOp)
+			continue
+		}
+		if od.NsPerOp <= 0 {
+			continue
+		}
+		deltaPct := 100 * (nw.NsPerOp - od.NsPerOp) / od.NsPerOp
+		status := "ok"
+		if deltaPct > *tol {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-5s %-50s %12.0f -> %-12.0f ns/op  %+6.1f%%\n",
+			status, name, od.NsPerOp, nw.NsPerOp, deltaPct)
+	}
+	for name := range oldSnap {
+		if _, ok := newSnap[name]; !ok {
+			fmt.Printf("  GONE  %s\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "bench_diff: %d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, *tol)
+		os.Exit(1)
+	}
+	fmt.Println("bench_diff: no ns/op regressions beyond tolerance")
+}
