@@ -4,7 +4,11 @@
 // surrogate while background refits train the next generation on fresh
 // oracle results, and UQ-rejected batch rows fan out over a bounded oracle
 // worker pool. Concurrent clients hammer the wrapper throughout; the
-// latency histogram shows retraining never freezes serving.
+// latency histogram shows retraining never freezes serving. A final
+// high-QPS phase runs the same traffic through the adaptive micro-batch
+// coalescer (repro.Serve) with the timer-driven auto-refitter keeping
+// shards fresh, comparing direct per-query serving with coalesced
+// serving.
 package main
 
 import (
@@ -29,15 +33,18 @@ func main() {
 		return []float64{math.Sin(3*x[0])*math.Cos(2*x[1]) + 0.3*x[0]}, nil
 	}}
 
-	factory := repro.NewNNSurrogateFactory(2, 1, []int{32, 32}, 0.1, rng, func(s *repro.NNSurrogate) {
+	// One hidden layer with dropout feeding the output: the canonical
+	// MC-dropout serving shape, which the batched UQ path runs as a
+	// single fused panel matmul per micro-batch.
+	factory := repro.NewNNSurrogateFactory(2, 1, []int{48}, 0.1, rng, func(s *repro.NNSurrogate) {
 		s.Epochs = 150
 		s.MCPasses = 10
 	})
 	w := repro.NewShardedWrapper(oracle, factory, repro.ShardedConfig{
-		Shards:          4,
+		Shards:          2,
 		MinTrainSamples: 40, // per shard
 		RetrainEvery:    60, // refit a shard in the background every 60 fresh samples
-		UQThreshold:     0.2,
+		UQThreshold:     0.35,
 		OracleWorkers:   8,
 	})
 
@@ -110,7 +117,61 @@ func main() {
 		pct(0.50), pct(0.90), pct(0.99), led.NTrainingRuns)
 	fmt.Printf("  final shard sizes %v, training set %d\n\n", w.ShardSizes(), w.TrainingSetSize())
 
+	fmt.Println("Phase 3: high-QPS load generator — direct vs coalesced serving")
+	// The auto-refitter replaces query-path retrain triggers: stale
+	// shards refresh on a timer while the coalescer gathers concurrent
+	// single-point queries into fused micro-batches.
+	w.StartAutoRefit(20 * time.Millisecond)
+	defer w.StopAutoRefit()
+	handle := repro.Serve(w, repro.CoalescerConfig{MaxBatch: 64})
+	defer handle.Close()
+
+	const loadClients = 32
+	loadgen := func(label string, query func(rng *repro.Rand) error) {
+		var wg sync.WaitGroup
+		var n atomic.Int64
+		t0 := time.Now()
+		for cID := 0; cID < loadClients; cID++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				crng := repro.NewRand(seed)
+				for i := 0; i < 1500; i++ {
+					if err := query(crng); err != nil {
+						panic(err)
+					}
+					n.Add(1)
+				}
+			}(uint64(7000 + cID))
+		}
+		wg.Wait()
+		dt := time.Since(t0)
+		fmt.Printf("  %-10s %6d queries from %d clients in %8v  → %8.0f queries/s\n",
+			label, n.Load(), loadClients, dt.Round(time.Millisecond),
+			float64(n.Load())/dt.Seconds())
+	}
+	point := func(crng *repro.Rand) []float64 {
+		return []float64{crng.Range(-1, 1), crng.Range(-1, 1)}
+	}
+	loadgen("direct", func(crng *repro.Rand) error {
+		_, _, _, err := w.Query(point(crng))
+		return err
+	})
+	loadgen("coalesced", func(crng *repro.Rand) error {
+		_, err := handle.Query(point(crng))
+		return err
+	})
+	st := handle.Stats()
+	fmt.Printf("  coalescer gathered %d queries into %d micro-batches (mean batch %.1f)\n",
+		st.Queries, st.Batches, st.MeanBatch())
+	for si, shard := range w.Status() {
+		fmt.Printf("  shard %d: %d samples, staleness %d, generation %d\n",
+			si, shard.Samples, shard.Stale, shard.Generation)
+	}
+	fmt.Println()
+
 	fmt.Println("Ledger (paper §III-D accounting):")
+	led = w.Ledger()
 	fmt.Printf("  %v\n", led)
 	fmt.Printf("  measured effective speedup S = %.2f\n", led.EffectiveSpeedup(1))
 }

@@ -1,13 +1,16 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -200,6 +203,96 @@ func reportLatencyPercentiles(b *testing.B, lats []time.Duration) {
 	}
 	b.ReportMetric(pct(0.50), "p50-ns")
 	b.ReportMetric(pct(0.99), "p99-ns")
+}
+
+// BenchmarkCompiledForward pins the fused inference kernel against the
+// interpreted Predictor path on the paper's 6-30-48-3 autotuning net:
+// the compiled single-query forward must run at 0 allocs/op and at or
+// below the Predictor's ns/op.
+func BenchmarkCompiledForward(b *testing.B) {
+	rng := xrand.New(0xf00d)
+	net := nn.NewMLP(xrand.New(1), nn.Tanh, 0.1, 6, 30, 48, 3)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.Range(-1, 1)
+	}
+
+	b.Run("compiled", func(b *testing.B) {
+		c := net.Compile()
+		dst := make([]float64, 3)
+		c.Predict(x, dst)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Predict(x, dst)
+		}
+	})
+	b.Run("predictor", func(b *testing.B) {
+		p := net.NewPredictor()
+		in := tensor.NewMatrix(1, 6)
+		copy(in.Data, x)
+		p.Forward(in)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Forward(in)
+		}
+	})
+}
+
+// BenchmarkCoalescedQPS measures per-query serving throughput for N
+// concurrent clients issuing independent single-point queries, comparing
+// the direct Query loop (every call pays the full per-pass dispatch
+// cost) with the coalesced front-end (micro-batches amortize it). The
+// acceptance bar is ≥2× queries/s at 64 clients.
+func BenchmarkCoalescedQPS(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		w := benchWrapper(b)
+		run := func(b *testing.B, query func(x []float64) error) {
+			b.SetParallelism(1)
+			var wg sync.WaitGroup
+			per := b.N / clients
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rng := xrand.New(seed)
+					x := make([]float64, 2)
+					for i := 0; i < per; i++ {
+						x[0] = rng.Range(-2, 2)
+						x[1] = rng.Range(-1, 1)
+						if err := query(x); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(uint64(0xc11e + g))
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(per*clients)/b.Elapsed().Seconds(), "queries/s")
+		}
+
+		b.Run(fmt.Sprintf("direct/clients=%d", clients), func(b *testing.B) {
+			run(b, func(x []float64) error {
+				_, _, _, err := w.Query(x)
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("coalesced/clients=%d", clients), func(b *testing.B) {
+			c := serve.NewCoalescer(w, serve.Config{MaxBatch: 64})
+			defer c.Close()
+			run(b, func(x []float64) error {
+				_, err := c.Query(x)
+				return err
+			})
+			b.ReportMetric(c.Stats().MeanBatch(), "batch-size")
+		})
+	}
 }
 
 // BenchmarkQueryDuringRetrain measures single-query serving latency

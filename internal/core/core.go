@@ -79,14 +79,28 @@ type NNSurrogate struct {
 	BatchSize int
 	LR        float64
 
-	rng     *xrand.Rand
-	inDim   int
-	outDim  int
-	net     *nn.Network
-	xScaler *nn.Scaler
-	yScaler *nn.Scaler
-	trained bool
+	rng      *xrand.Rand
+	inDim    int
+	outDim   int
+	net      *nn.Network
+	compiled *nn.Compiled // fused inference program, rebuilt by Train
+	xScaler  *nn.Scaler
+	yScaler  *nn.Scaler
+	trained  bool
+
+	inPool sync.Pool // *[]float64 scaled-input staging, len inDim
 }
+
+// getIn leases a pooled scaled-input buffer; putIn returns it.
+func (s *NNSurrogate) getIn() *[]float64 {
+	if p, ok := s.inPool.Get().(*[]float64); ok {
+		return p
+	}
+	buf := make([]float64, s.inDim)
+	return &buf
+}
+
+func (s *NNSurrogate) putIn(p *[]float64) { s.inPool.Put(p) }
 
 // NewNNSurrogate builds an untrained surrogate for an in→out mapping.
 func NewNNSurrogate(in, out int, hidden []int, dropout float64, rng *xrand.Rand) *NNSurrogate {
@@ -119,27 +133,57 @@ func (s *NNSurrogate) Train(x, y *tensor.Matrix) error {
 	if err != nil {
 		return fmt.Errorf("core: surrogate training: %w", err)
 	}
+	// Compile the fused inference program: single-point serving runs it
+	// instead of the interpreted layer graph (nil means an uncompilable
+	// architecture; the flexible path below then serves).
+	s.compiled = s.net.Compile()
 	s.trained = true
 	return nil
 }
 
-// Predict implements Surrogate.
+// Predict implements Surrogate. When the network compiled, the forward
+// pass runs the fused program with a pooled input staging buffer: the
+// only allocation left is the returned result vector.
 func (s *NNSurrogate) Predict(x []float64) []float64 {
 	s.mustBeTrained()
-	z := s.net.Predict(s.xScaler.TransformVec(x))
-	return s.yScaler.Inverse(z)
+	out := make([]float64, s.outDim)
+	if c := s.compiled; c != nil {
+		in := s.getIn()
+		s.xScaler.TransformVecInto(*in, x)
+		c.Predict(*in, out)
+		s.putIn(in)
+	} else {
+		copy(out, s.net.Predict(s.xScaler.TransformVec(x)))
+	}
+	for j := range out {
+		out[j] = out[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
+	}
+	return out
 }
 
 // PredictWithUQ implements Surrogate using MC dropout; with Dropout == 0
 // the std is identically zero (a deterministic surrogate claims perfect
 // confidence, which is why the wrapper requires Dropout > 0 to gate).
+// On the compiled path the MC passes run allocation-free; mean and std
+// share one backing array, so a served query costs a single allocation.
 func (s *NNSurrogate) PredictWithUQ(x []float64) (mean, std []float64) {
 	s.mustBeTrained()
-	m, sd := s.net.PredictMC(s.xScaler.TransformVec(x), s.MCPasses)
-	mean = s.yScaler.Inverse(m)
-	std = make([]float64, len(sd))
-	for j := range sd {
-		std[j] = s.yScaler.InverseScale(j, sd[j])
+	res := make([]float64, 2*s.outDim)
+	// Cap the mean slice so an appending caller can never grow into std.
+	mean, std = res[:s.outDim:s.outDim], res[s.outDim:]
+	if c := s.compiled; c != nil {
+		in := s.getIn()
+		s.xScaler.TransformVecInto(*in, x)
+		c.PredictMC(*in, s.MCPasses, mean, std)
+		s.putIn(in)
+	} else {
+		m, sd := s.net.PredictMC(s.xScaler.TransformVec(x), s.MCPasses)
+		copy(mean, m)
+		copy(std, sd)
+	}
+	for j := 0; j < s.outDim; j++ {
+		mean[j] = mean[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
+		std[j] = s.yScaler.InverseScale(j, std[j])
 	}
 	return mean, std
 }
@@ -240,8 +284,7 @@ type Wrapper struct {
 	xs, ys        *tensor.Matrix
 	newSinceTrain int
 
-	ledMu  sync.Mutex // ledger only; always acquired after mu
-	ledger Ledger
+	ledgerBox // ledger lock is always acquired after mu
 }
 
 // NewWrapper constructs a wrapper. The surrogate must provide non-trivial
@@ -257,25 +300,14 @@ func NewWrapper(oracle Oracle, surrogate Surrogate, cfg WrapperConfig) *Wrapper 
 	}
 }
 
-// Ledger returns a copy of the effective-performance ledger.
-func (w *Wrapper) Ledger() Ledger {
-	w.ledMu.Lock()
-	defer w.ledMu.Unlock()
-	return w.ledger
-}
+// Dims returns the input and output dimensionality served by the wrapper.
+func (w *Wrapper) Dims() (in, out int) { return w.oracle.Dims() }
 
 // TrainingSetSize returns the number of accumulated oracle samples.
 func (w *Wrapper) TrainingSetSize() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return w.xs.Rows
-}
-
-// record applies one ledger mutation under the ledger lock.
-func (w *Wrapper) record(f func(l *Ledger)) {
-	w.ledMu.Lock()
-	f(&w.ledger)
-	w.ledMu.Unlock()
 }
 
 // Query answers one input point, reporting which path served it and, for
@@ -288,10 +320,10 @@ func (w *Wrapper) Query(x []float64) (y []float64, src Source, std []float64, er
 	y, err = w.oracle.Run(x)
 	dt := time.Since(t0)
 	if err != nil {
-		w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
+		w.recordFailedRun(dt)
 		return nil, FromSimulation, nil, fmt.Errorf("core: oracle: %w", err)
 	}
-	w.record(func(l *Ledger) { l.RecordSimulation(dt) })
+	w.recordSimulation(dt)
 	w.mu.Lock()
 	w.addSampleLocked(x, y)
 	err = w.maybeTrainLocked()
@@ -315,11 +347,11 @@ func (w *Wrapper) tryLookup(x []float64) (mean, sd []float64, ok bool) {
 	mean, sd = w.surrogate.PredictWithUQ(x)
 	dt := time.Since(t0)
 	if maxOf(sd) <= w.cfg.UQThreshold {
-		w.record(func(l *Ledger) { l.RecordLookup(dt) })
+		w.recordLookup(dt)
 		return mean, sd, true
 	}
 	// Gate failed: the lookup time is charged as overhead.
-	w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+	w.recordRejectedLookup(dt)
 	return nil, nil, false
 }
 
@@ -400,10 +432,10 @@ func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult) []int {
 			dt := time.Since(t0)
 			if maxOf(sd) <= w.cfg.UQThreshold {
 				res[i] = BatchResult{Y: mean, Src: FromSurrogate, Std: sd}
-				w.record(func(l *Ledger) { l.RecordLookup(dt) })
+				w.recordLookup(dt)
 			} else {
 				miss = append(miss, i)
-				w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+				w.recordRejectedLookup(dt)
 			}
 		}
 	default:

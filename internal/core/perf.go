@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -148,6 +149,55 @@ func (l Ledger) String() string {
 		l.NTrainingRuns, l.LearnTime.Seconds(),
 		100*l.SurrogateFraction(),
 	)
+}
+
+// ledgerBox is the concurrency shell both serving runtimes embed: a
+// Ledger behind its own mutex (always acquired after any wrapper state
+// lock). The single-event recorders below are deliberately closure-free —
+// the per-query serving path calls them, and a captured-variable closure
+// per query is a heap allocation the hot path cannot afford.
+type ledgerBox struct {
+	ledMu  sync.Mutex
+	ledger Ledger
+}
+
+// Ledger returns a copy of the effective-performance ledger.
+func (b *ledgerBox) Ledger() Ledger {
+	b.ledMu.Lock()
+	defer b.ledMu.Unlock()
+	return b.ledger
+}
+
+// record applies one ledger mutation under the ledger lock; batch paths
+// use it to fold many events into a single lock acquisition.
+func (b *ledgerBox) record(f func(l *Ledger)) {
+	b.ledMu.Lock()
+	f(&b.ledger)
+	b.ledMu.Unlock()
+}
+
+func (b *ledgerBox) recordLookup(d time.Duration) {
+	b.ledMu.Lock()
+	b.ledger.RecordLookup(d)
+	b.ledMu.Unlock()
+}
+
+func (b *ledgerBox) recordRejectedLookup(d time.Duration) {
+	b.ledMu.Lock()
+	b.ledger.RecordRejectedLookup(d)
+	b.ledMu.Unlock()
+}
+
+func (b *ledgerBox) recordSimulation(d time.Duration) {
+	b.ledMu.Lock()
+	b.ledger.RecordSimulation(d)
+	b.ledMu.Unlock()
+}
+
+func (b *ledgerBox) recordFailedRun(d time.Duration) {
+	b.ledMu.Lock()
+	b.ledger.RecordFailedRun(d)
+	b.ledMu.Unlock()
 }
 
 // SpeedupCurve sweeps the lookup/train ratio and returns the effective

@@ -205,8 +205,12 @@ type ShardedWrapper struct {
 	inflight  int
 	trainErr  error // first background refit failure since the last Wait
 
-	ledMu  sync.Mutex
-	ledger Ledger
+	// Timer-driven periodic retrainer (StartAutoRefit / StopAutoRefit).
+	autoMu   sync.Mutex
+	autoStop chan struct{}
+	autoDone chan struct{}
+
+	ledgerBox
 }
 
 // NewShardedWrapper constructs a sharded, double-buffered wrapper around
@@ -247,22 +251,11 @@ func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfi
 // NumShards returns the partition width.
 func (w *ShardedWrapper) NumShards() int { return len(w.shards) }
 
+// Dims returns the input and output dimensionality served by the wrapper.
+func (w *ShardedWrapper) Dims() (in, out int) { return w.in, w.out }
+
 // Route exposes the wrapper's routing decision for x.
 func (w *ShardedWrapper) Route(x []float64) int { return w.router.Route(x) }
-
-// Ledger returns a copy of the effective-performance ledger.
-func (w *ShardedWrapper) Ledger() Ledger {
-	w.ledMu.Lock()
-	defer w.ledMu.Unlock()
-	return w.ledger
-}
-
-// record applies one ledger mutation under the ledger lock.
-func (w *ShardedWrapper) record(f func(l *Ledger)) {
-	w.ledMu.Lock()
-	f(&w.ledger)
-	w.ledMu.Unlock()
-}
 
 // TrainingSetSize returns the total accumulated oracle samples across all
 // shards.
@@ -299,10 +292,10 @@ func (w *ShardedWrapper) Query(x []float64) (y []float64, src Source, std []floa
 	y, err = w.oracle.Run(x)
 	dt := time.Since(t0)
 	if err != nil {
-		w.record(func(l *Ledger) { l.RecordFailedRun(dt) })
+		w.recordFailedRun(dt)
 		return nil, FromSimulation, nil, fmt.Errorf("core: oracle: %w", err)
 	}
-	w.record(func(l *Ledger) { l.RecordSimulation(dt) })
+	w.recordSimulation(dt)
 	w.addSamples(s, [][2][]float64{{x, y}})
 	return y, FromSimulation, nil, nil
 }
@@ -320,10 +313,10 @@ func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, o
 	mean, sd = sur.PredictWithUQ(x)
 	dt := time.Since(t0)
 	if maxOf(sd) <= w.cfg.UQThreshold {
-		w.record(func(l *Ledger) { l.RecordLookup(dt) })
+		w.recordLookup(dt)
 		return mean, sd, true
 	}
-	w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+	w.recordRejectedLookup(dt)
 	return nil, nil, false
 }
 
@@ -395,10 +388,10 @@ func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 			dt := time.Since(t0)
 			if maxOf(sd) <= w.cfg.UQThreshold {
 				res[i] = BatchResult{Y: mean, Src: FromSurrogate, Std: sd}
-				w.record(func(l *Ledger) { l.RecordLookup(dt) })
+				w.recordLookup(dt)
 			} else {
 				miss = append(miss, i)
-				w.record(func(l *Ledger) { l.RecordRejectedLookup(dt) })
+				w.recordRejectedLookup(dt)
 			}
 		}
 	}
@@ -522,24 +515,126 @@ func (w *ShardedWrapper) refit(s *shard, snapX, snapY *tensor.Matrix, gen, consu
 	w.endRefit(nil)
 }
 
-// Refit asynchronously retrains every shard that has any data on a
-// snapshot of its current training set, regardless of the RetrainEvery
-// schedule (shards already refitting are skipped). It returns immediately;
-// Wait observes completion. Periodic-retrain drivers call this on a timer.
-func (w *ShardedWrapper) Refit() {
+// refitWhere snapshots and spawns a background refit on every shard with
+// data that satisfies due (evaluated with the shard lock held; shards
+// already refitting are skipped) and returns the number spawned.
+func (w *ShardedWrapper) refitWhere(due func(s *shard) bool) int {
+	spawned := 0
 	for _, s := range w.shards {
 		s.mu.Lock()
 		var snapX, snapY *tensor.Matrix
 		var gen, consumed int
-		if !s.refitting && s.xs.Rows > 0 {
+		if !s.refitting && s.xs.Rows > 0 && due(s) {
 			s.refitting = true
 			snapX, snapY, gen, consumed = s.snapshotLocked()
 		}
 		s.mu.Unlock()
 		if snapX != nil {
 			w.spawnRefit(s, snapX, snapY, gen, consumed)
+			spawned++
 		}
 	}
+	return spawned
+}
+
+// Refit asynchronously retrains every shard that has any data on a
+// snapshot of its current training set, regardless of the RetrainEvery
+// schedule (shards already refitting are skipped). It returns immediately;
+// Wait observes completion.
+func (w *ShardedWrapper) Refit() {
+	w.refitWhere(func(*shard) bool { return true })
+}
+
+// RefitStale asynchronously retrains every shard that is stale: it has
+// accumulated samples no training snapshot has absorbed, or it has
+// reached MinTrainSamples without a published model (the same first-fit
+// gate the query path enforces). Fresh shards are left alone, so calling
+// it on a timer costs nothing when no new data arrived. It returns the
+// number of refits spawned; Wait observes their completion.
+func (w *ShardedWrapper) RefitStale() int {
+	return w.refitWhere(func(s *shard) bool {
+		if s.active.Load() == nil {
+			return s.xs.Rows >= w.cfg.MinTrainSamples
+		}
+		return s.newSinceTrain > 0
+	})
+}
+
+// StartAutoRefit launches the timer-driven periodic retrainer: every
+// interval it calls RefitStale, so a long-running server keeps its
+// published models fresh without any query-path trigger (the ROADMAP's
+// periodic-retrain driver). It panics if a driver is already running;
+// StopAutoRefit stops it.
+func (w *ShardedWrapper) StartAutoRefit(interval time.Duration) {
+	if interval <= 0 {
+		panic("core: auto-refit interval must be positive")
+	}
+	w.autoMu.Lock()
+	defer w.autoMu.Unlock()
+	if w.autoStop != nil {
+		panic("core: auto-refit already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	w.autoStop, w.autoDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				w.RefitStale()
+			}
+		}
+	}()
+}
+
+// StopAutoRefit stops the periodic retrainer and waits for the driver
+// goroutine to exit (refits it already spawned keep running; use Wait to
+// drain them). It is a no-op if no driver is running.
+func (w *ShardedWrapper) StopAutoRefit() {
+	w.autoMu.Lock()
+	stop, done := w.autoStop, w.autoDone
+	w.autoStop, w.autoDone = nil, nil
+	w.autoMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// ShardStatus is one shard's serving-staleness report.
+type ShardStatus struct {
+	// Samples is the shard's accumulated training-set size.
+	Samples int
+	// Stale counts samples no training snapshot has absorbed yet — the
+	// per-shard staleness metric the periodic retrainer drains.
+	Stale int
+	// Generation is the snapshot generation of the published model, or -1
+	// while the shard still serves everything from the oracle.
+	Generation int
+	// Refitting reports whether a background refit is in flight.
+	Refitting bool
+}
+
+// Status returns the per-shard staleness metrics.
+func (w *ShardedWrapper) Status() []ShardStatus {
+	out := make([]ShardStatus, len(w.shards))
+	for i, s := range w.shards {
+		s.mu.Lock()
+		out[i] = ShardStatus{
+			Samples:    s.xs.Rows,
+			Stale:      s.newSinceTrain,
+			Generation: s.publishedGen,
+			Refitting:  s.refitting,
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Wait blocks until no background refit is in flight and returns the first
@@ -558,8 +653,9 @@ func (w *ShardedWrapper) Wait() error {
 
 // Ingest routes precomputed (x, y) sample rows into the shard training
 // sets without running the oracle or charging the ledger — the bulk-load
-// path for corpora computed elsewhere. It does not trigger refits; call
-// TrainAll (or Refit) afterwards.
+// path for corpora computed elsewhere. Ingested rows count toward shard
+// staleness (they are data no published model has seen) but never trigger
+// refits themselves; call TrainAll, Refit, or run StartAutoRefit.
 func (w *ShardedWrapper) Ingest(xs, ys *tensor.Matrix) error {
 	if xs.Rows != ys.Rows {
 		return fmt.Errorf("core: ingest rows mismatch %d vs %d", xs.Rows, ys.Rows)
@@ -572,6 +668,7 @@ func (w *ShardedWrapper) Ingest(xs, ys *tensor.Matrix) error {
 		s.mu.Lock()
 		s.xs.AppendRow(xs.Row(i))
 		s.ys.AppendRow(ys.Row(i))
+		s.newSinceTrain++
 		s.mu.Unlock()
 	}
 	return nil

@@ -86,6 +86,54 @@ func TestAdamStepZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSGDStepZeroAlloc pins the fused-SGD contract: after the first Step
+// initializes the velocity buffers, the update allocates nothing.
+func TestSGDStepZeroAlloc(t *testing.T) {
+	rng := xrand.New(16)
+	net := NewMLP(rng, Tanh, 0, 8, 16, 4)
+	params := net.Params()
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.Range(-1, 1)
+		}
+	}
+	for _, momentum := range []float64{0, 0.9} {
+		opt := NewSGD(1e-2, momentum)
+		opt.Step(params) // warm up velocity buffers
+		if allocs := testing.AllocsPerRun(50, func() { opt.Step(params) }); allocs != 0 {
+			t.Fatalf("steady-state SGD.Step (momentum=%g) allocates %g times per step, want 0", momentum, allocs)
+		}
+	}
+}
+
+// TestSGDFusedMatchesReference checks the fused momentum update against a
+// direct transcription of classical-momentum SGD.
+func TestSGDFusedMatchesReference(t *testing.T) {
+	rng := xrand.New(17)
+	val := tensor.NewMatrix(3, 4)
+	grad := tensor.NewMatrix(3, 4)
+	for i := range val.Data {
+		val.Data[i] = rng.Range(-1, 1)
+	}
+	ref := val.Clone()
+	refV := tensor.NewMatrix(3, 4)
+	opt := NewSGD(1e-2, 0.9)
+	params := []ParamPair{{Value: val, Grad: grad}}
+	for step := 0; step < 5; step++ {
+		for i := range grad.Data {
+			grad.Data[i] = rng.Range(-1, 1)
+		}
+		opt.Step(params)
+		for k := range ref.Data {
+			refV.Data[k] = 0.9*refV.Data[k] - 1e-2*grad.Data[k]
+			ref.Data[k] += refV.Data[k]
+		}
+	}
+	if !tensor.Equal(val, ref, 1e-15) {
+		t.Fatal("fused SGD diverged from reference formulas")
+	}
+}
+
 // TestAdamFusedMatchesReference checks the fused one-pass update against a
 // direct transcription of the Adam formulas.
 func TestAdamFusedMatchesReference(t *testing.T) {

@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// This file implements the fused inference engine: a trained Network is
+// compiled into a flat program whose single-query forward pass runs with
+// zero heap allocations and no per-layer interface dispatch. Serving
+// wrappers recompile on every publish, so the hot path always executes the
+// compiled form while training keeps the flexible layer graph.
+
+// stepKind discriminates compiled program steps.
+type stepKind uint8
+
+const (
+	stepDense stepKind = iota
+	stepDropout
+)
+
+// compiledStep is one fused stage of the program. A dense step runs as a
+// single sweep over its contiguous weight panel: the output buffer is
+// seeded with the bias (no zeroing pass), the input row streams through
+// the panel-axpy matmul kernel, and the activation is applied in place —
+// no intermediate tensor objects and no per-layer interface dispatch.
+type compiledStep struct {
+	kind    stepKind
+	in, out int
+	w       []float64 // in x out, row-major copy of the layer's W
+	b       []float64
+	act     Activation
+	p       float64 // dropout probability (stepDropout only)
+}
+
+// Compiled is an immutable, flattened inference program for a Network.
+// All mutable per-call state (ping-pong activation buffers, dropout rng,
+// MC accumulators) lives in pooled contexts, so a Compiled value is safe
+// for concurrent use and its warmed single-query passes allocate nothing.
+//
+// A Compiled program captures the network weights by copy at Compile
+// time: training the source network afterwards does not affect it, which
+// is exactly the snapshot semantics double-buffered serving needs.
+type Compiled struct {
+	in, out  int
+	steps    []compiledStep
+	fs       int // first stochastic step (live dropout), -1 if none
+	maxW     int // widest activation buffer any step needs
+	seedBase uint64
+	seedCtr  atomic.Uint64
+	pool     sync.Pool // *compiledCtx
+}
+
+// compiledCtx owns the per-call scratch of one in-flight inference: two
+// ping-pong activation buffers sized at compile time plus the MC-dropout
+// accumulators and a private rng stream.
+type compiledCtx struct {
+	buf [2][]float64
+	pre []float64 // deterministic-prefix output shared by all MC passes
+	rng *xrand.Rand
+	ref []float64 // first-pass output (shifted-variance reference)
+	sum []float64
+	ssq []float64
+}
+
+// Compile flattens the network into a fused inference program. It
+// supports Dense and Dropout layers (the full serving-path vocabulary);
+// any other layer type returns nil, and callers fall back to the
+// interpreted Predictor path.
+func (n *Network) Compile() *Compiled {
+	c := &Compiled{seedBase: n.predictorSeed(), fs: -1}
+	width := -1
+	for _, l := range n.Layers {
+		switch ly := l.(type) {
+		case *Dense:
+			c.steps = append(c.steps, compiledStep{
+				kind: stepDense, in: ly.In, out: ly.Out,
+				w:   append([]float64(nil), ly.W.Data...),
+				b:   append([]float64(nil), ly.B.Data...),
+				act: ly.Act,
+			})
+			if width < 0 {
+				c.in = ly.In
+				if ly.In > c.maxW {
+					c.maxW = ly.In
+				}
+			}
+			width = ly.Out
+			if width > c.maxW {
+				c.maxW = width
+			}
+		case *Dropout:
+			if ly.P > 0 && c.fs < 0 {
+				c.fs = len(c.steps)
+			}
+			c.steps = append(c.steps, compiledStep{kind: stepDropout, p: ly.P})
+		default:
+			return nil
+		}
+	}
+	if width < 0 {
+		return nil // no dense layer: nothing to compile
+	}
+	c.out = width
+	return c
+}
+
+// Dims returns the program's input and output widths.
+func (c *Compiled) Dims() (in, out int) { return c.in, c.out }
+
+// getCtx leases a warm context, minting one with a fresh deterministic
+// rng substream on pool miss.
+func (c *Compiled) getCtx() *compiledCtx {
+	if ctx, ok := c.pool.Get().(*compiledCtx); ok {
+		return ctx
+	}
+	return &compiledCtx{
+		buf: [2][]float64{make([]float64, c.maxW), make([]float64, c.maxW)},
+		pre: make([]float64, c.maxW),
+		rng: xrand.New(c.seedBase + c.seedCtr.Add(1)*0x9e3779b97f4a7c15),
+		ref: make([]float64, c.out),
+		sum: make([]float64, c.out),
+		ssq: make([]float64, c.out),
+	}
+}
+
+// forward runs one input vector through the program using ctx's ping-pong
+// buffers and returns a view of the output buffer (valid until the next
+// use of ctx). stochastic toggles dropout sampling for MC passes.
+func (c *Compiled) forward(ctx *compiledCtx, x []float64, stochastic bool) []float64 {
+	return c.forwardRange(ctx, x, 0, len(c.steps), stochastic)
+}
+
+// forwardRange runs steps [lo,hi) on x through ctx's ping-pong buffers.
+func (c *Compiled) forwardRange(ctx *compiledCtx, x []float64, lo, hi int, stochastic bool) []float64 {
+	cur := ctx.buf[0][:len(x)]
+	copy(cur, x)
+	side := 1
+	for si := lo; si < hi; si++ {
+		st := &c.steps[si]
+		switch st.kind {
+		case stepDense:
+			out := ctx.buf[side][:st.out]
+			copy(out, st.b) // seed with the bias: no zeroing pass
+			tensor.AxpyPanels(out, cur, st.w)
+			if st.act != Identity {
+				for j, v := range out {
+					out[j] = st.act.apply(v)
+				}
+			}
+			cur = out
+			side = 1 - side
+		case stepDropout:
+			if !stochastic || st.p == 0 {
+				continue
+			}
+			keep := 1 - st.p
+			inv := 1 / keep
+			for i := range cur {
+				if ctx.rng.Float64() < keep {
+					cur[i] *= inv
+				} else {
+					cur[i] = 0
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// checkIn panics on input-width mismatch (programming error, mirroring
+// the layer-path behaviour).
+func (c *Compiled) checkIn(x []float64) {
+	if len(x) != c.in {
+		panic(fmt.Sprintf("nn: compiled program expects %d inputs, got %d", c.in, len(x)))
+	}
+}
+
+// Predict runs one deterministic (eval-mode) forward pass, writing the
+// result into dst (len == out; nil allocates) and returning it. With a
+// caller-provided dst a warmed Predict performs zero heap allocations.
+// Safe for concurrent use.
+func (c *Compiled) Predict(x, dst []float64) []float64 {
+	c.checkIn(x)
+	if dst == nil {
+		dst = make([]float64, c.out)
+	} else if len(dst) != c.out {
+		panic(fmt.Sprintf("nn: compiled dst len %d, want %d", len(dst), c.out))
+	}
+	ctx := c.getCtx()
+	copy(dst, c.forward(ctx, x, false))
+	c.pool.Put(ctx)
+	return dst
+}
+
+// PredictMC runs passes stochastic forward evaluations (MC dropout) and
+// writes the predictive mean and std into mean/std (len == out; nil
+// allocates), returning both. The deterministic prefix — every step
+// before the first live dropout — is evaluated once and shared by all
+// passes; a program with no live dropout collapses to one eval pass with
+// zero std. The variance is accumulated as deviations from the first
+// pass (shifted data), matching Predictor.PredictMCBatch. With
+// caller-provided buffers a warmed call allocates nothing. Safe for
+// concurrent use.
+func (c *Compiled) PredictMC(x []float64, passes int, mean, std []float64) (m, s []float64) {
+	if passes < 1 {
+		panic("nn: PredictMC needs at least one pass")
+	}
+	c.checkIn(x)
+	if mean == nil {
+		mean = make([]float64, c.out)
+	}
+	if std == nil {
+		std = make([]float64, c.out)
+	}
+	if len(mean) != c.out || len(std) != c.out {
+		panic("nn: compiled mean/std length mismatch")
+	}
+	ctx := c.getCtx()
+	if c.fs < 0 {
+		copy(mean, c.forward(ctx, x, false))
+		for k := range std {
+			std[k] = 0
+		}
+		c.pool.Put(ctx)
+		return mean, std
+	}
+	// The ping-pong buffers are clobbered by every pass, so the prefix
+	// output is parked in its own buffer and replayed from there.
+	pre := ctx.pre[:len(x)]
+	if c.fs > 0 {
+		prefix := c.forwardRange(ctx, x, 0, c.fs, false)
+		pre = ctx.pre[:len(prefix)]
+		copy(pre, prefix)
+	} else {
+		copy(pre, x)
+	}
+	ref, sum, ssq := ctx.ref, ctx.sum, ctx.ssq
+	for k := range sum {
+		sum[k] = 0
+		ssq[k] = 0
+	}
+	for t := 0; t < passes; t++ {
+		out := c.forwardRange(ctx, pre, c.fs, len(c.steps), true)
+		if t == 0 {
+			copy(ref, out)
+			continue
+		}
+		for k, v := range out {
+			d := v - ref[k]
+			sum[k] += d
+			ssq[k] += d * d
+		}
+	}
+	inv := 1 / float64(passes)
+	for k := range mean {
+		d := sum[k] * inv
+		mean[k] = ref[k] + d
+		v := ssq[k]*inv - d*d
+		if v < 0 {
+			v = 0
+		}
+		std[k] = math.Sqrt(v)
+	}
+	c.pool.Put(ctx)
+	return mean, std
+}

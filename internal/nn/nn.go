@@ -577,18 +577,41 @@ type Predictor struct {
 	rng        *xrand.Rand
 	bufs       []*tensor.Matrix // one per layer
 	in         *tensor.Matrix   // staging for vector queries
+	colMask    []float64        // per-unit dropout mask shared across batch rows
+	packW      *tensor.Matrix   // stacked masked-weight panel (MC fast path)
+	packY      *tensor.Matrix   // all-passes output block (MC fast path)
 	ref        *tensor.Matrix   // first-pass MC output (variance shift)
 	sum, sumSq *tensor.Matrix   // MC accumulators of shifted deviations
 	mean, std  *tensor.Matrix   // MC results
+}
+
+// firstStochastic returns the index of the first layer whose stochastic
+// forward differs from eval mode (a Dropout with P > 0), or -1. Layers
+// before it are pass-invariant under MC dropout: PredictMCBatch
+// evaluates that deterministic prefix once and replays only the suffix.
+func (n *Network) firstStochastic() int {
+	for i, l := range n.Layers {
+		if dr, ok := l.(*Dropout); ok && dr.P > 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // forward runs a batch through the network using the predictor's owned
 // buffers. stochastic toggles dropout sampling (MC dropout); dense layers
 // always run in eval mode and cache nothing.
 func (p *Predictor) forward(x *tensor.Matrix, stochastic bool) *tensor.Matrix {
+	return p.forwardRange(x, 0, len(p.net.Layers), stochastic)
+}
+
+// forwardRange runs layers [lo,hi) on x. Each layer writes only its own
+// p.bufs slot, so a prefix result (the output of layer lo-1) survives
+// any number of suffix replays.
+func (p *Predictor) forwardRange(x *tensor.Matrix, lo, hi int, stochastic bool) *tensor.Matrix {
 	h := x
-	for i, l := range p.net.Layers {
-		switch ly := l.(type) {
+	for i := lo; i < hi; i++ {
+		switch ly := p.net.Layers[i].(type) {
 		case *Dense:
 			buf := reuse(&p.bufs[i], h.Rows, ly.Out)
 			tensor.MatMulInto(buf, h, ly.W)
@@ -598,11 +621,53 @@ func (p *Predictor) forward(x *tensor.Matrix, stochastic bool) *tensor.Matrix {
 			if !stochastic || ly.P == 0 {
 				continue
 			}
+			// One mask element per unit, shared across every row of the
+			// batch: each MC pass evaluates the whole batch through a
+			// single sampled thinned network, so the rng cost is per-pass
+			// instead of per-element — the amortization that makes batched
+			// UQ serving cheap. Per-row marginals are identical to
+			// independent masking.
+			if cap(p.colMask) < h.Cols {
+				p.colMask = make([]float64, h.Cols)
+			}
+			mask := p.colMask[:h.Cols]
+			keep := 1 - ly.P
+			inv := 1 / keep
+			for j := range mask {
+				if p.rng.Float64() < keep {
+					mask[j] = inv
+				} else {
+					mask[j] = 0
+				}
+			}
+			// Algebraic fusion with a following dense layer: since the
+			// mask is one value per column, (m⊙h)·W == h·(diag(m)·W), so
+			// scaling W's rows (batch-size independent) replaces scaling
+			// the whole batch.
+			if i+1 < hi {
+				if nd, ok := p.net.Layers[i+1].(*Dense); ok {
+					mw := reuse(&p.bufs[i], nd.In, nd.Out)
+					for r := 0; r < nd.In; r++ {
+						mr := mask[r]
+						src := nd.W.Data[r*nd.Out : (r+1)*nd.Out]
+						dst := mw.Data[r*nd.Out : (r+1)*nd.Out]
+						for k2, v := range src {
+							dst[k2] = v * mr
+						}
+					}
+					i++
+					buf := reuse(&p.bufs[i], h.Rows, nd.Out)
+					tensor.MatMulInto(buf, h, mw)
+					nd.biasAct(buf)
+					h = buf
+					continue
+				}
+			}
 			buf := reuse(&p.bufs[i], h.Rows, h.Cols)
-			dropoutSample(buf.Data, h.Data, nil, ly.P, p.rng)
+			tensor.ScaleColumns(buf, h, mask)
 			h = buf
 		default:
-			h = l.Forward(h, false, p.rng)
+			h = p.net.Layers[i].Forward(h, false, p.rng)
 		}
 	}
 	return h
@@ -616,16 +681,43 @@ func (p *Predictor) Forward(x *tensor.Matrix) *tensor.Matrix { return p.forward(
 // amortizing each layer matmul across all rows, and returns per-element
 // predictive mean and std. Both returned matrices are owned by the
 // predictor and valid until its next call.
+//
+// Only the network suffix from the first live dropout layer onward is
+// stochastic, so the deterministic prefix (typically the widest matmuls
+// and every activation before the dropout) is evaluated once and shared
+// by all passes; a network with no live dropout collapses to a single
+// eval pass with zero std.
 func (p *Predictor) PredictMCBatch(x *tensor.Matrix, passes int) (mean, std *tensor.Matrix) {
 	if passes < 1 {
 		panic("nn: PredictMCBatch needs at least one pass")
+	}
+	nl := len(p.net.Layers)
+	fs := p.net.firstStochastic()
+	if fs < 0 {
+		out := p.forward(x, false)
+		mean = reuse(&p.mean, out.Rows, out.Cols)
+		copy(mean.Data, out.Data)
+		std = reuse(&p.std, out.Rows, out.Cols)
+		std.Zero()
+		return mean, std
+	}
+	pre := p.forwardRange(x, 0, fs, false)
+	// Canonical MC-dropout tail — a single dropout feeding the output
+	// layer — admits a stronger fusion: stack every pass's masked weights
+	// into one panel and run all passes as one matmul.
+	if fs == nl-2 {
+		if dr, drOK := p.net.Layers[fs].(*Dropout); drOK {
+			if nd, ok := p.net.Layers[fs+1].(*Dense); ok {
+				return p.predictMCPanel(pre, dr, nd, passes)
+			}
+		}
 	}
 	// Accumulate deviations from the first pass (shifted-data variance):
 	// exactly zero spread for deterministic nets and numerically robust
 	// when the spread is small relative to the mean.
 	var ref, sum, sumSq *tensor.Matrix
 	for t := 0; t < passes; t++ {
-		out := p.forward(x, true)
+		out := p.forwardRange(pre, fs, nl, true)
 		if t == 0 {
 			ref = reuse(&p.ref, out.Rows, out.Cols)
 			copy(ref.Data, out.Data)
@@ -652,6 +744,66 @@ func (p *Predictor) PredictMCBatch(x *tensor.Matrix, passes int) (mean, std *ten
 			v = 0
 		}
 		std.Data[k] = math.Sqrt(v)
+	}
+	return mean, std
+}
+
+// predictMCPanel runs all MC passes of the canonical [..., Dropout,
+// Dense] tail as one fused matmul. Column-shared masks make each pass's
+// thinned output layer h·diag(mₜ)·W == h·(diag(mₜ)W), so the passes
+// stack side by side into a single pre.Rows × (passes·Out) product:
+//
+//	Y = pre · [diag(m₁)W | diag(m₂)W | … ]
+//
+// turning passes separate skinny matmuls (catastrophic for an Out of 1,
+// the usual surrogate shape) into one wide panel multiply. The mean/std
+// per row then reduce across the pass groups.
+func (p *Predictor) predictMCPanel(pre *tensor.Matrix, dr *Dropout, nd *Dense, passes int) (mean, std *tensor.Matrix) {
+	in, out := nd.In, nd.Out
+	packW := reuse(&p.packW, in, passes*out)
+	keep := 1 - dr.P
+	inv := 1 / keep
+	for t := 0; t < passes; t++ {
+		for r := 0; r < in; r++ {
+			m := 0.0
+			if p.rng.Float64() < keep {
+				m = inv
+			}
+			src := nd.W.Data[r*out : (r+1)*out]
+			dst := packW.Data[r*passes*out+t*out:]
+			for j, v := range src {
+				dst[j] = v * m
+			}
+		}
+	}
+	packY := reuse(&p.packY, pre.Rows, passes*out)
+	tensor.MatMulInto(packY, pre, packW)
+	mean = reuse(&p.mean, pre.Rows, out)
+	std = reuse(&p.std, pre.Rows, out)
+	invP := 1 / float64(passes)
+	for i := 0; i < pre.Rows; i++ {
+		yrow := packY.Row(i)
+		mrow := mean.Row(i)
+		srow := std.Row(i)
+		for j := 0; j < out; j++ {
+			// Shifted-data accumulation around the first pass, matching
+			// the generic path's numerics.
+			ref := nd.Act.apply(yrow[j] + nd.B.Data[j])
+			sum, ssq := 0.0, 0.0
+			for t := 1; t < passes; t++ {
+				v := nd.Act.apply(yrow[t*out+j] + nd.B.Data[j])
+				d := v - ref
+				sum += d
+				ssq += d * d
+			}
+			d := sum * invP
+			mrow[j] = ref + d
+			v := ssq*invP - d*d
+			if v < 0 {
+				v = 0
+			}
+			srow[j] = math.Sqrt(v)
+		}
 	}
 	return mean, std
 }

@@ -29,7 +29,10 @@ func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum}
 // Name implements Optimizer.
 func (s *SGD) Name() string { return "sgd" }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The velocity update and parameter step are
+// fused into one pass per parameter matrix over the preallocated velocity
+// buffers (the same treatment Adam.Step got); after the first call, which
+// allocates those buffers, Step performs zero heap allocations.
 func (s *SGD) Step(params []ParamPair) {
 	if s.velocity == nil {
 		s.velocity = make([]*tensor.Matrix, len(params))
@@ -38,11 +41,26 @@ func (s *SGD) Step(params []ParamPair) {
 		}
 	}
 	for i, p := range params {
-		v := s.velocity[i]
-		for k := range p.Value.Data {
-			v.Data[k] = s.Momentum*v.Data[k] - s.LR*p.Grad.Data[k]
-			p.Value.Data[k] += v.Data[k]
+		sgdStep(p.Value.Data, p.Grad.Data, s.velocity[i].Data, s.LR, s.Momentum)
+	}
+}
+
+// sgdStep applies one fused momentum-SGD update in a single sweep. The
+// momentum-free case skips the velocity traffic entirely: v stays zero
+// and the update degenerates to a plain axpy, halving the memory streams.
+func sgdStep(val, grad, v []float64, lr, momentum float64) {
+	grad = grad[:len(val)] // bounds-check elimination hints
+	if momentum == 0 {
+		for k := range val {
+			val[k] -= lr * grad[k]
 		}
+		return
+	}
+	v = v[:len(val)]
+	for k := range val {
+		vk := momentum*v[k] - lr*grad[k]
+		v[k] = vk
+		val[k] += vk
 	}
 }
 

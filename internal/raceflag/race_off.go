@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag exposes whether the race detector is compiled in.
+// Zero-allocation tests consult it: under -race, sync.Pool deliberately
+// drops a fraction of Put items (to shake out lifetime bugs), so alloc
+// counts through pooled hot paths are meaningless there.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = false

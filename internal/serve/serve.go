@@ -1,0 +1,392 @@
+// Package serve implements the adaptive micro-batch request coalescer:
+// the serving front-end that makes many concurrent single-point queries
+// as cheap per point as one large batch. Concurrent Query calls are
+// gathered into micro-batches with a dual trigger — a batch fills to
+// MaxBatch, or the gather stalls (no new arrivals) with MaxDelay as the
+// hard cap — and each batch runs once through the backend's amortized
+// QueryBatch path, fanning results back to the blocked callers.
+//
+// Gathering is driven by the batch's first caller (the leader), which is
+// blocked waiting for its own answer anyway: instead of sleeping on an
+// OS timer (whose ~millisecond firing granularity would dwarf the
+// microsecond gather windows), the leader yields its processor in a
+// spin-and-recheck loop and dispatches as soon as arrivals stall. An
+// EWMA of the observed arrival rate classifies sparse traffic, which
+// bypasses gathering entirely — a lone query is dispatched immediately
+// rather than taxed with a pointless wait.
+//
+// This is the per-request → stream-oriented execution bridge the paper's
+// serving story needs: the UQ-gated surrogate answers millions of
+// independent lookups, and without coalescing every one of them pays the
+// full per-pass dispatch cost that batching amortizes away.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Backend is the serving engine a Coalescer drives. Both core.Wrapper and
+// core.ShardedWrapper implement it; the sharded backend additionally
+// groups each micro-batch's rows by shard so every shard sees one fused
+// batch per dispatch.
+type Backend interface {
+	// QueryBatch answers every row of xs; row results must remain valid
+	// after the call returns (the coalescer hands them to independent
+	// callers).
+	QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error)
+	// Dims returns the input and output dimensionality.
+	Dims() (in, out int)
+}
+
+// Config tunes a Coalescer. The zero value selects the defaults.
+type Config struct {
+	// MaxBatch dispatches a batch as soon as it gathers this many
+	// requests (default 64).
+	MaxBatch int
+	// MaxDelay caps how long a batch may gather before dispatching
+	// whatever has arrived (default 200µs). It also anchors the sparse
+	// cutoff: when the arrival-rate estimate says even MaxDelay could
+	// not fill a batch, queries dispatch immediately instead of waiting.
+	MaxDelay time.Duration
+	// StallSpins is how many consecutive leader yields without a new
+	// arrival count as a stalled gather (default 4). Smaller dispatches
+	// sooner at lower concurrency; larger rides out scheduling jitter.
+	StallSpins int
+	// EWMAAlpha is the smoothing factor of the arrival-interval estimate
+	// in (0, 1]; larger adapts faster (default 0.2).
+	EWMAAlpha float64
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.StallSpins <= 0 {
+		c.StallSpins = 4
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.2
+	}
+}
+
+// Result is one coalesced query's answer.
+type Result struct {
+	Y   []float64
+	Src core.Source
+	Std []float64 // non-nil only for surrogate answers
+}
+
+// Stats is a snapshot of coalescing effectiveness.
+type Stats struct {
+	Queries int64 // queries accepted
+	Batches int64 // micro-batches dispatched
+}
+
+// MeanBatch returns the mean dispatched batch size.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Queries) / float64(s.Batches)
+}
+
+// ErrClosed is returned by Query after Close.
+var ErrClosed = errors.New("serve: coalescer closed")
+
+// batch is one forming/in-flight micro-batch. The struct (and its input
+// matrix) is pooled; the done channel and the backend's result slice are
+// the only per-batch allocations, amortized over every gathered query.
+// A batch cannot return to the pool before every caller has consumed its
+// row (the refs count), so a leader still spinning on a batch pointer
+// always observes its own incarnation.
+type batch struct {
+	xs       *tensor.Matrix
+	n        int
+	done     chan struct{} // closed when res/err/panicked are final
+	res      []core.BatchResult
+	err      error
+	panicked any
+	refs     atomic.Int32 // callers yet to consume; last one recycles
+}
+
+// Coalescer gathers concurrent Query calls into micro-batches for a
+// Backend. All methods are safe for concurrent use. Close drains
+// gracefully: the forming batch is dispatched, in-flight batches finish,
+// and subsequent queries fail with ErrClosed.
+type Coalescer struct {
+	backend Backend
+	in      int
+	cfg     Config
+
+	active atomic.Int64 // Query calls in flight (the observable concurrency)
+
+	mu         sync.Mutex
+	cur        *batch // forming batch, nil when none
+	closed     bool
+	lastDetach time.Time
+	ewmaNs     float64 // smoothed per-query arrival-interval estimate
+	nQueries   int64
+	nBatches   int64
+
+	inflight sync.WaitGroup // dispatched batches not yet completed
+	pool     sync.Pool      // *batch
+}
+
+// NewCoalescer builds a coalescer over backend.
+func NewCoalescer(backend Backend, cfg Config) *Coalescer {
+	cfg.fill()
+	in, _ := backend.Dims()
+	return &Coalescer{backend: backend, in: in, cfg: cfg}
+}
+
+// Query submits one input point and blocks until its micro-batch has been
+// served, returning the same answer a direct backend QueryBatch row would
+// produce. Per-row oracle failures surface as the returned error; a panic
+// in the backend propagates to exactly the callers of the affected batch.
+func (c *Coalescer) Query(x []float64) (Result, error) {
+	if len(x) != c.in {
+		return Result{}, fmt.Errorf("serve: query has %d dims, backend wants %d", len(x), c.in)
+	}
+	c.active.Add(1)
+	defer c.active.Add(-1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	c.nQueries++
+	b := c.cur
+	leader := false
+	if b == nil {
+		if c.active.Load() == 1 {
+			// Nobody else is in flight, so nobody can join a gather:
+			// dispatch solo, immediately — sparse traffic is never taxed
+			// with a wait.
+			b = c.lease()
+			b.xs.AppendRow(x)
+			b.n = 1
+			c.registerDispatchLocked(b)
+			c.mu.Unlock()
+			c.run(b)
+			return c.collect(b, 0)
+		}
+		b = c.lease()
+		c.cur = b
+		leader = true
+	}
+	idx := b.n
+	b.xs.AppendRow(x)
+	b.n++
+	full := b.n >= c.cfg.MaxBatch
+	if full {
+		c.detachLocked()
+	}
+	c.mu.Unlock()
+
+	if full {
+		// Size trigger: the filling caller runs the batch inline — no
+		// goroutine hop on the hot path.
+		c.run(b)
+	} else if leader {
+		c.lead(b)
+	}
+	<-b.done
+	return c.collect(b, idx)
+}
+
+// collect extracts caller idx's answer from a completed batch and retires
+// the caller's claim on it. A batch-level backend error (e.g. a failed
+// retrain inside core.Wrapper.QueryBatch) does not discard row results
+// that were already computed: mirroring the direct QueryBatch contract,
+// each caller receives its row's answer (when one exists) alongside the
+// error, with the row's own error taking precedence.
+func (c *Coalescer) collect(b *batch, idx int) (Result, error) {
+	if pv := b.panicked; pv != nil {
+		c.release(b)
+		panic(pv)
+	}
+	if b.res == nil {
+		err := b.err
+		c.release(b)
+		return Result{}, err
+	}
+	r := b.res[idx]
+	out := Result{Y: r.Y, Src: r.Src, Std: r.Std}
+	err := r.Err
+	if err == nil {
+		err = b.err
+	}
+	c.release(b)
+	return out, err
+}
+
+// lead is the gather loop run by a batch's first caller, who is blocked
+// on the batch anyway and so donates its wait to arrival detection: it
+// yields the processor, letting other ready callers join, and dispatches
+// when every in-flight caller has joined, when the batch stops growing
+// for StallSpins consecutive yields, or when the EWMA-tuned deadline
+// (the estimated time for a full batch to arrive, capped at MaxDelay)
+// elapses. If another caller dispatches the batch first (size trigger or
+// Close), the leader simply stops leading.
+func (c *Coalescer) lead(b *batch) {
+	stall := 0
+	lastN := 0
+	var start time.Time
+	var deadline time.Duration
+	for spins := 0; ; spins++ {
+		runtime.Gosched()
+		c.mu.Lock()
+		if c.cur != b {
+			// Dispatched by a size trigger or flushed by Close.
+			c.mu.Unlock()
+			return
+		}
+		if b.n == lastN {
+			stall++
+		} else {
+			stall = 0
+			lastN = b.n
+		}
+		// Everyone currently in flight has joined: waiting longer can
+		// only add latency. (New arrivals would start the next batch.)
+		expire := int64(b.n) >= c.active.Load() || stall >= c.cfg.StallSpins
+		if !expire && spins%32 == 31 {
+			// Growth is steady but slow: enforce the adaptive deadline
+			// with a coarse (every-32-yields) clock check.
+			now := time.Now()
+			if start.IsZero() {
+				start = now
+				deadline = c.adaptiveDeadlineLocked()
+			} else if now.Sub(start) >= deadline {
+				expire = true
+			}
+		}
+		if expire {
+			c.detachLocked()
+			c.mu.Unlock()
+			c.run(b)
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// adaptiveDeadlineLocked is the EWMA-tuned gather deadline: the
+// estimated time for a full batch to arrive at the observed rate, capped
+// at MaxDelay — slow arrival streams are never held for longer than
+// their own cadence justifies. Callers hold c.mu.
+func (c *Coalescer) adaptiveDeadlineLocked() time.Duration {
+	if c.ewmaNs == 0 {
+		return c.cfg.MaxDelay
+	}
+	fill := time.Duration(c.ewmaNs * float64(c.cfg.MaxBatch-1))
+	if fill > c.cfg.MaxDelay {
+		return c.cfg.MaxDelay
+	}
+	return fill
+}
+
+// lease takes a recycled batch (or mints one) ready for filling.
+func (c *Coalescer) lease() *batch {
+	b, _ := c.pool.Get().(*batch)
+	if b == nil {
+		b = &batch{xs: tensor.NewMatrix(0, c.in)}
+	}
+	b.xs.Reshape(0, c.in)
+	b.n = 0
+	b.done = make(chan struct{})
+	b.res, b.err, b.panicked = nil, nil, nil
+	return b
+}
+
+// registerDispatchLocked accounts one batch dispatch: claims the caller
+// refs, folds the gather interval into the arrival-rate EWMA (one clock
+// read per batch, not per query) and registers the in-flight work.
+// Callers hold c.mu.
+func (c *Coalescer) registerDispatchLocked(b *batch) {
+	b.refs.Store(int32(b.n))
+	c.nBatches++
+	c.inflight.Add(1)
+	now := time.Now()
+	if !c.lastDetach.IsZero() && b.n > 0 {
+		per := float64(now.Sub(c.lastDetach)) / float64(b.n)
+		if c.ewmaNs == 0 {
+			c.ewmaNs = per
+		} else {
+			c.ewmaNs += c.cfg.EWMAAlpha * (per - c.ewmaNs)
+		}
+	}
+	c.lastDetach = now
+}
+
+// detachLocked removes the forming batch from the gather slot and
+// registers its dispatch; the caller then runs it. Callers hold c.mu.
+func (c *Coalescer) detachLocked() {
+	b := c.cur
+	c.cur = nil
+	c.registerDispatchLocked(b)
+}
+
+// run executes one dispatched batch on the backend and wakes its callers.
+// A backend panic is captured and re-thrown in every caller of this batch
+// (and only this batch).
+func (c *Coalescer) run(b *batch) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			b.panicked = pv
+		}
+		close(b.done)
+		c.inflight.Done()
+	}()
+	b.res, b.err = c.backend.QueryBatch(b.xs)
+}
+
+// release retires one caller's claim on b, recycling it after the last.
+func (c *Coalescer) release(b *batch) {
+	if b.refs.Add(-1) == 0 {
+		b.res = nil
+		c.pool.Put(b)
+	}
+}
+
+// Stats returns a snapshot of coalescing effectiveness.
+func (c *Coalescer) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Queries: c.nQueries, Batches: c.nBatches}
+}
+
+// Close drains the coalescer: the forming batch (if any) is dispatched
+// immediately, all in-flight batches run to completion, and every later
+// Query fails with ErrClosed. Close is idempotent and safe to call
+// concurrently with Query.
+func (c *Coalescer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.inflight.Wait()
+		return nil
+	}
+	c.closed = true
+	b := c.cur
+	if b != nil {
+		c.detachLocked()
+	}
+	c.mu.Unlock()
+	if b != nil {
+		c.run(b)
+	}
+	c.inflight.Wait()
+	return nil
+}

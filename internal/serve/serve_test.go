@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// fakeBackend is a deterministic Backend: y = x0 + 2*x1, with optional
+// per-row failure/panic triggers keyed off the input value, an optional
+// fixed delay (to create caller overlap) and an optional block channel
+// (to hold batches in flight).
+type fakeBackend struct {
+	in, out   int
+	delay     time.Duration
+	batches   atomic.Int64
+	failAt    float64 // rows with x0 == failAt get a row error
+	panicAt   float64 // a batch containing x0 == panicAt panics
+	block     chan struct{} // blocks the FIRST batch after blockUsed reset
+	blockUsed atomic.Bool
+}
+
+func newFakeBackend() *fakeBackend { return &fakeBackend{in: 2, out: 1} }
+
+func (f *fakeBackend) Dims() (int, int) { return f.in, f.out }
+
+func (f *fakeBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) {
+	f.batches.Add(1)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.block != nil && f.blockUsed.CompareAndSwap(false, true) {
+		<-f.block
+	}
+	res := make([]core.BatchResult, xs.Rows)
+	for i := 0; i < xs.Rows; i++ {
+		row := xs.Row(i)
+		if f.panicAt != 0 && row[0] == f.panicAt {
+			panic("fake backend exploded")
+		}
+		if f.failAt != 0 && row[0] == f.failAt {
+			res[i] = core.BatchResult{Src: core.FromSimulation, Err: errors.New("row failed")}
+			continue
+		}
+		res[i] = core.BatchResult{Y: []float64{row[0] + 2*row[1]}, Src: core.FromSurrogate}
+	}
+	return res, nil
+}
+
+// TestCoalescerCorrectness checks every concurrent caller gets exactly
+// its own answer back, and that overlapping load actually coalesces
+// (run under -race). The backend delay guarantees callers overlap, so
+// the adaptive gather has concurrency to harvest.
+func TestCoalescerCorrectness(t *testing.T) {
+	fb := newFakeBackend()
+	fb.delay = 100 * time.Microsecond
+	c := NewCoalescer(fb, Config{MaxBatch: 8})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for i := 0; i < 50; i++ {
+				x := []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+				r, err := c.Query(x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := x[0] + 2*x[1]
+				if math.Abs(r.Y[0]-want) > 1e-15 {
+					t.Errorf("got %g want %g", r.Y[0], want)
+					return
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Queries != 800 {
+		t.Fatalf("stats counted %d queries, want 800", st.Queries)
+	}
+	if st.MeanBatch() <= 1 {
+		t.Fatalf("mean batch %.2f: overlapping load did not coalesce at all", st.MeanBatch())
+	}
+}
+
+// TestCoalescerLoneQueryNoWait pins the sparse-traffic contract: a query
+// with no concurrent company dispatches immediately as a batch of 1 —
+// it is never taxed with a gather wait.
+func TestCoalescerLoneQueryNoWait(t *testing.T) {
+	fb := newFakeBackend()
+	c := NewCoalescer(fb, Config{MaxBatch: 64, MaxDelay: time.Hour})
+	defer c.Close()
+	t0 := time.Now()
+	r, err := c.Query([]float64{0.5, 0.25})
+	dt := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Y[0] != 1.0 {
+		t.Fatalf("got %g want 1.0", r.Y[0])
+	}
+	if got := c.Stats().Batches; got != 1 {
+		t.Fatalf("dispatched %d batches, want 1", got)
+	}
+	// Generous bound: the point is that the hour-long MaxDelay (and any
+	// timer machinery) never entered the picture.
+	if dt > time.Second {
+		t.Fatalf("lone query took %v; sparse bypass dead", dt)
+	}
+}
+
+// TestCoalescerSizeTrigger checks a full batch dispatches without
+// waiting out any deadline: concurrent queries against a blocked-forming
+// batch complete promptly even with an hour-long MaxDelay.
+func TestCoalescerSizeTrigger(t *testing.T) {
+	fb := newFakeBackend()
+	fb.delay = 50 * time.Microsecond
+	c := NewCoalescer(fb, Config{MaxBatch: 4, MaxDelay: time.Hour})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Query([]float64{float64(i), 0}); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("queries stuck behind an hour-long deadline; size/stall triggers dead")
+	}
+}
+
+// TestCoalescerRowErrors checks per-row oracle failures land on exactly
+// the failing caller.
+func TestCoalescerRowErrors(t *testing.T) {
+	fb := newFakeBackend()
+	fb.failAt = 7
+	fb.delay = 20 * time.Microsecond
+	c := NewCoalescer(fb, Config{MaxBatch: 4})
+	defer c.Close()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x0 := float64(i)
+			if i%4 == 3 {
+				x0 = 7 // the poisoned row
+			}
+			_, err := c.Query([]float64{x0, 1})
+			if x0 == 7 {
+				if err == nil {
+					t.Error("poisoned row returned no error")
+				} else {
+					failures.Add(1)
+				}
+			} else if err != nil {
+				t.Errorf("healthy row got error %v", err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failures.Load() != 2 {
+		t.Fatalf("%d callers saw the row error, want 2", failures.Load())
+	}
+}
+
+// blockerQuery parks one in-flight query inside the backend so that
+// subsequent queries see standing concurrency and gather instead of
+// dispatching solo. Returns a channel yielding the blocker's error.
+func blockerQuery(c *Coalescer, fb *fakeBackend) <-chan error {
+	fb.block = make(chan struct{})
+	fb.blockUsed.Store(false)
+	res := make(chan error, 1)
+	go func() {
+		_, err := c.Query([]float64{1, 1})
+		res <- err
+	}()
+	for fb.batches.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	return res
+}
+
+// TestCoalescerPanicPropagation checks a backend panic reaches exactly
+// the callers of the affected batch: they re-panic with the original
+// value, other batches are untouched, and the coalescer keeps serving.
+func TestCoalescerPanicPropagation(t *testing.T) {
+	fb := newFakeBackend()
+	fb.panicAt = 9
+	// Stall/deadline triggers effectively disabled: batch membership is
+	// decided purely by the size trigger, deterministically.
+	c := NewCoalescer(fb, Config{MaxBatch: 3, MaxDelay: time.Hour, StallSpins: 1 << 30})
+	defer c.Close()
+
+	// A blocked lone query keeps the concurrency up so the poisoned trio
+	// gathers into one batch.
+	blockerRes := blockerQuery(c, fb)
+
+	var panics atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if pv := recover(); pv != nil {
+					if pv != "fake backend exploded" {
+						t.Errorf("unexpected panic value %v", pv)
+					}
+					panics.Add(1)
+				}
+			}()
+			x0 := float64(i)
+			if i == 0 {
+				x0 = 9 // poison the batch
+			}
+			c.Query([]float64{x0, 0})
+		}(g)
+	}
+	wg.Wait()
+	if panics.Load() != 3 {
+		t.Fatalf("%d callers panicked, want all 3 of the poisoned batch", panics.Load())
+	}
+	// The blocker's batch is untouched by its sibling's panic.
+	close(fb.block)
+	if err := <-blockerRes; err != nil {
+		t.Fatalf("blocker caught its neighbour's panic: %v", err)
+	}
+	// The coalescer must still serve after a poisoned batch.
+	r, err := c.Query([]float64{1, 1})
+	if err != nil || r.Y[0] != 3 {
+		t.Fatalf("serving broken after panic: %v %v", r, err)
+	}
+}
+
+// TestCoalescerCloseDuringInflight checks graceful drain: Close while
+// batches are executing waits for them, their callers get real results,
+// and later queries fail with ErrClosed.
+func TestCoalescerCloseDuringInflight(t *testing.T) {
+	fb := newFakeBackend()
+	c := NewCoalescer(fb, Config{MaxBatch: 2})
+	blockerRes := blockerQuery(c, fb)
+
+	closed := make(chan struct{})
+	go func() { c.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a batch was still executing")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(fb.block) // let the in-flight batch finish
+	<-closed
+	if err := <-blockerRes; err != nil {
+		t.Fatalf("in-flight caller got %v, want its result", err)
+	}
+	if _, err := c.Query([]float64{0, 0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close query returned %v, want ErrClosed", err)
+	}
+}
+
+// TestCoalescerCloseFlushesFormingBatch checks Close dispatches a batch
+// still gathering (its leader pinned down by disabled stall/deadline
+// triggers) instead of stranding its callers.
+func TestCoalescerCloseFlushesFormingBatch(t *testing.T) {
+	fb := newFakeBackend()
+	c := NewCoalescer(fb, Config{MaxBatch: 64, MaxDelay: time.Hour, StallSpins: 1 << 30})
+	blockerRes := blockerQuery(c, fb)
+
+	// This query gathers (the blocker keeps active > 1) and can only
+	// leave via Close: the batch never fills, the leader never stalls.
+	res := make(chan error, 1)
+	go func() {
+		_, err := c.Query([]float64{2, 1})
+		res <- err
+	}()
+	for c.Stats().Queries < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	closed := make(chan struct{})
+	go func() { c.Close(); close(closed) }()
+	time.Sleep(10 * time.Millisecond)
+	close(fb.block) // release the blocker and the flushed batch
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("flushed caller got %v, want result", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close stranded the forming batch's caller")
+	}
+	<-closed
+	if err := <-blockerRes; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalescerDimsMismatch checks malformed queries fail fast without
+// joining a batch.
+func TestCoalescerDimsMismatch(t *testing.T) {
+	c := NewCoalescer(newFakeBackend(), Config{})
+	defer c.Close()
+	if _, err := c.Query([]float64{1, 2, 3}); err == nil {
+		t.Fatal("3-dim query accepted by 2-dim backend")
+	}
+	if got := c.Stats().Queries; got != 0 {
+		t.Fatalf("malformed query counted: %d", got)
+	}
+}
+
+// TestCoalescerAgainstWrapper is the integration check: coalesced
+// queries through a real UQ-gated Wrapper return well-formed surrogate
+// answers under concurrent load.
+func TestCoalescerAgainstWrapper(t *testing.T) {
+	rng := xrand.New(0xc0a1)
+	oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0]*x[0] + 0.5*x[1]}, nil
+	}}
+	sur := core.NewNNSurrogate(2, 1, []int{16}, 0.1, rng)
+	sur.Epochs = 60
+	sur.MCPasses = 8
+	w := core.NewWrapper(oracle, sur, core.WrapperConfig{MinTrainSamples: 10, UQThreshold: 10})
+	design := tensor.NewMatrix(60, 2)
+	for i := 0; i < design.Rows; i++ {
+		design.Set(i, 0, rng.Range(-1, 1))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoalescer(w, Config{MaxBatch: 8})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			crng := xrand.New(seed)
+			for i := 0; i < 50; i++ {
+				x := []float64{crng.Range(-1, 1), crng.Range(-1, 1)}
+				r, err := c.Query(x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r.Src != core.FromSurrogate {
+					t.Errorf("UQThreshold 10 query fell back to simulation")
+					return
+				}
+				if len(r.Y) != 1 || len(r.Std) != 1 {
+					t.Errorf("malformed result %+v", r)
+					return
+				}
+			}
+		}(uint64(1000 + g))
+	}
+	wg.Wait()
+	if got := c.Stats().Queries; got != 400 {
+		t.Fatalf("stats counted %d queries, want 400", got)
+	}
+}
+
+// TestCoalescerSlowOracleCoalesces drives a wrapper whose every query
+// falls back to a slow oracle: callers pile up behind the in-flight
+// batch, so the gather must harvest that concurrency into real batches.
+func TestCoalescerSlowOracleCoalesces(t *testing.T) {
+	rng := xrand.New(0xc0a2)
+	oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		time.Sleep(100 * time.Microsecond)
+		return []float64{x[0] - x[1]}, nil
+	}}
+	sur := core.NewNNSurrogate(2, 1, []int{8}, 0.1, rng)
+	w := core.NewWrapper(oracle, sur, core.WrapperConfig{
+		MinTrainSamples: 1 << 30, // never trains: every row runs the oracle
+		OracleWorkers:   8,
+	})
+	c := NewCoalescer(w, Config{MaxBatch: 16})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			crng := xrand.New(seed)
+			for i := 0; i < 25; i++ {
+				x := []float64{crng.Range(-1, 1), crng.Range(-1, 1)}
+				r, err := c.Query(x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Abs(r.Y[0]-(x[0]-x[1])) > 1e-12 {
+					t.Errorf("oracle row corrupted: %g want %g", r.Y[0], x[0]-x[1])
+					return
+				}
+			}
+		}(uint64(2000 + g))
+	}
+	wg.Wait()
+	if mb := c.Stats().MeanBatch(); mb <= 1 {
+		t.Fatalf("slow-oracle mean batch %.2f, want coalescing > 1", mb)
+	}
+}

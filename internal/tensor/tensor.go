@@ -137,6 +137,26 @@ func GatherRowsInto(dst, src *Matrix, idx []int) *Matrix {
 	return dst
 }
 
+// ScaleColumns stores x with each column j scaled by scale[j] into dst
+// (same shape as x, len(scale) == x.Cols) and returns dst. dst may alias
+// x for in-place scaling; a nil dst allocates. This is the column-mask
+// kernel batched MC dropout uses: one mask element per unit, applied to
+// every row of the batch in a single streaming pass.
+func ScaleColumns(dst, x *Matrix, scale []float64) *Matrix {
+	if len(scale) != x.Cols {
+		panic(fmt.Sprintf("tensor: scale of len %d for %d-col matrix", len(scale), x.Cols))
+	}
+	dst = ensure(dst, x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src := x.Data[i*x.Cols : (i+1)*x.Cols]
+		out := dst.Data[i*x.Cols : (i+1)*x.Cols]
+		for j, v := range src {
+			out[j] = v * scale[j]
+		}
+	}
+	return dst
+}
+
 // SliceRows returns a view of rows [lo,hi) sharing m's backing array.
 // Mutations through the view are visible in m and vice versa.
 func (m *Matrix) SliceRows(lo, hi int) *Matrix {
@@ -438,6 +458,28 @@ func dot4(a, b []float64) float64 {
 		s += a[i] * b[i]
 	}
 	return s
+}
+
+// AxpyPanels accumulates dst += Σᵢ x[i]·a[i·w:(i+1)·w] where w = len(dst)
+// — the single-row matmul kernel y += xᵀA for a row-major A (len(a) ==
+// len(x)·len(dst)), streaming A exactly once with four source rows fused
+// per pass. The fused inference engine's dense step is built on it.
+func AxpyPanels(dst, x, a []float64) {
+	w := len(dst)
+	if len(a) != len(x)*w {
+		panic(fmt.Sprintf("tensor: axpy-panels %d x %d panel block of len %d", len(x), w, len(a)))
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		axpyPanel4(x[i], x[i+1], x[i+2], x[i+3],
+			a[i*w:(i+1)*w], a[(i+1)*w:(i+2)*w],
+			a[(i+2)*w:(i+3)*w], a[(i+3)*w:(i+4)*w], dst)
+	}
+	for ; i < len(x); i++ {
+		if xi := x[i]; xi != 0 {
+			axpy4(xi, a[i*w:(i+1)*w], dst)
+		}
+	}
 }
 
 // Axpy computes y += alpha*x in place.

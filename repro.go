@@ -24,10 +24,21 @@
 //	sw := repro.NewShardedWrapper(oracle, fac, repro.ShardedConfig{
 //		Shards: 8, UQThreshold: 0.05, RetrainEvery: 200, OracleWorkers: 8,
 //	})
+//	sw.StartAutoRefit(30 * time.Second) // timer-driven background refresh
+//
+// High-QPS streams of independent single-point queries go through Serve:
+// an adaptive micro-batch coalescer gathers concurrent Query calls into
+// fused batches (dual trigger: batch size or an arrival-rate-tuned
+// deadline) so each point costs what a batched row costs:
+//
+//	h := repro.Serve(sw, repro.CoalescerConfig{})
+//	defer h.Close()
+//	res, err := h.Query(x) // concurrent callers coalesce automatically
 package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -64,6 +75,18 @@ type (
 	KDRouter = core.KDRouter
 	// SurrogateFactory builds fresh surrogates for double-buffered refits.
 	SurrogateFactory = core.SurrogateFactory
+	// ShardStatus is one shard's serving-staleness report.
+	ShardStatus = core.ShardStatus
+	// Coalescer is the adaptive micro-batch serving front-end: concurrent
+	// Query calls gather into fused batches for a Backend's QueryBatch.
+	Coalescer = serve.Coalescer
+	// CoalescerConfig tunes the coalescer (zero value = defaults).
+	CoalescerConfig = serve.Config
+	// CoalescedResult is one coalesced query's answer.
+	CoalescedResult = serve.Result
+	// ServeBackend is the engine a Coalescer drives; both Wrapper and
+	// ShardedWrapper implement it.
+	ServeBackend = serve.Backend
 	// Ledger is the effective-performance accounting record.
 	Ledger = core.Ledger
 	// Source tells which path answered a query.
@@ -130,6 +153,18 @@ func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfi
 func NewNNSurrogateFactory(in, out int, hidden []int, dropout float64, rng *Rand, configure func(*NNSurrogate)) SurrogateFactory {
 	return core.NewNNSurrogateFactory(in, out, hidden, dropout, rng, configure)
 }
+
+// Serve wraps a serving backend (Wrapper or ShardedWrapper) in an
+// adaptive micro-batch Coalescer: many concurrent single-point Query
+// calls are gathered into fused batches, so each point pays the batched
+// per-row cost instead of the full per-call dispatch cost. Close the
+// returned handle to drain gracefully.
+func Serve(backend ServeBackend, cfg CoalescerConfig) *Coalescer {
+	return serve.NewCoalescer(backend, cfg)
+}
+
+// ErrServeClosed is returned by Coalescer.Query after Close.
+var ErrServeClosed = serve.ErrClosed
 
 // EffectiveSpeedup evaluates the paper's §III-D formula.
 func EffectiveSpeedup(tseq, ttrain, tlearn, tlookup, nlookup, ntrain float64) float64 {

@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	go run ./scripts/bench_diff.go [-tol 15] [-dir .] [old.json new.json]
+//	go run ./scripts/bench_diff.go [-tol 15] [-dir .] [-require a,b] [old.json new.json]
 //
 // With no positional arguments it discovers the two highest-numbered
-// BENCH_<n>.json files in -dir and compares them in order.
+// BENCH_<n>.json files in -dir and compares them in order. -require
+// lists benchmark-name substrings that must each match at least one
+// entry of the NEW snapshot — the gate for "this PR's headline
+// benchmarks are actually recorded", so a perf claim cannot silently
+// drop out of the trajectory.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type benchEntry struct {
@@ -69,6 +74,7 @@ func lastTwoSnapshots(dir string) (older, newer string, err error) {
 func main() {
 	tol := flag.Float64("tol", 15, "max allowed ns/op regression, percent")
 	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+	require := flag.String("require", "", "comma-separated benchmark-name substrings that must be present in the new snapshot")
 	flag.Parse()
 
 	var oldPath, newPath string
@@ -128,6 +134,29 @@ func main() {
 	for name := range oldSnap {
 		if _, ok := newSnap[name]; !ok {
 			fmt.Printf("  GONE  %s\n", name)
+		}
+	}
+	if *require != "" {
+		missing := 0
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			found := false
+			for name := range newSnap {
+				if strings.Contains(name, want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "bench_diff: required benchmark %q missing from %s\n", want, newPath)
+				missing++
+			}
+		}
+		if missing > 0 {
+			os.Exit(1)
 		}
 	}
 	if regressions > 0 {
