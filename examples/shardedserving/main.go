@@ -35,10 +35,12 @@ func main() {
 
 	// One hidden layer with dropout feeding the output: the canonical
 	// MC-dropout serving shape, which the batched UQ path runs as a
-	// single fused panel matmul per micro-batch.
+	// single fused panel matmul per micro-batch. MaxBatch matches the
+	// coalescer's micro-batch size so every dispatch is one fused pass.
 	factory := repro.NewNNSurrogateFactory(2, 1, []int{48}, 0.1, rng, func(s *repro.NNSurrogate) {
 		s.Epochs = 150
 		s.MCPasses = 10
+		s.MaxBatch = 64
 	})
 	w := repro.NewShardedWrapper(oracle, factory, repro.ShardedConfig{
 		Shards:          2,
@@ -46,6 +48,10 @@ func main() {
 		RetrainEvery:    60, // refit a shard in the background every 60 fresh samples
 		UQThreshold:     0.35,
 		OracleWorkers:   8,
+		// Bounded retention: each shard keeps a sliding window of its most
+		// recent samples, so background refits stay O(window) no matter
+		// how long the server runs.
+		Retention: repro.Retention{Policy: repro.RetainWindow, MaxSamples: 400},
 	})
 
 	fmt.Println("Phase 1: pretrain — oracle fan-out fills all shards in parallel")
@@ -115,7 +121,7 @@ func main() {
 		100*float64(surrogateHits.Load())/float64(total), simulations.Load())
 	fmt.Printf("  query latency p50=%v p90=%v p99=%v (refits ran concurrently: %d fits)\n",
 		pct(0.50), pct(0.90), pct(0.99), led.NTrainingRuns)
-	fmt.Printf("  final shard sizes %v, training set %d\n\n", w.ShardSizes(), w.TrainingSetSize())
+	fmt.Printf("  final shard sizes %v, training set %d (window-bounded)\n\n", w.ShardSizes(), w.TrainingSetSize())
 
 	fmt.Println("Phase 3: high-QPS load generator — direct vs coalesced serving")
 	// The auto-refitter replaces query-path retrain triggers: stale

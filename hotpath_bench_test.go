@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -113,20 +114,23 @@ func benchBatch(n int) *tensor.Matrix {
 	return batch
 }
 
-// BenchmarkQueryBatch serves 64 queries per op through the amortized
-// batch path (one matmul per layer per MC pass for the whole batch).
+// BenchmarkQueryBatch serves 64 UQ-gated queries per op through the
+// steady-state batch serving loop: the compiled batch program answers the
+// whole batch in fused chunks and QueryBatchInto reuses the caller's
+// result slice, so a warmed iteration performs zero heap allocations
+// (down from 8 allocs/op through the uncompiled path in BENCH_3).
 func BenchmarkQueryBatch(b *testing.B) {
 	w := benchWrapper(b)
 	batch := benchBatch(64)
+	res := make([]core.BatchResult, batch.Rows)
+	if err := w.QueryBatchInto(batch, res); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := w.QueryBatch(batch)
-		if err != nil {
+		if err := w.QueryBatchInto(batch, res); err != nil {
 			b.Fatal(err)
-		}
-		if len(res) != 64 {
-			b.Fatal("short batch")
 		}
 	}
 	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "queries/s")
@@ -238,6 +242,127 @@ func BenchmarkCompiledForward(b *testing.B) {
 			p.Forward(in)
 		}
 	})
+}
+
+// BenchmarkCompiledBatch pins the fused batch program against the
+// interpreted Predictor batch pass on the paper's 6-30-48-3 autotuning
+// net at a 64-row batch: the compiled side must run at 0 allocs/op and at
+// or below the Predictor's ns/op.
+func BenchmarkCompiledBatch(b *testing.B) {
+	rng := xrand.New(0xf00e)
+	net := nn.NewMLP(xrand.New(1), nn.Tanh, 0.1, 6, 30, 48, 3)
+	xs := tensor.NewMatrix(64, 6)
+	for i := range xs.Data {
+		xs.Data[i] = rng.Range(-1, 1)
+	}
+
+	b.Run("compiled", func(b *testing.B) {
+		c := net.CompileBatch(64)
+		dst := tensor.NewMatrix(64, 3)
+		c.PredictBatch(xs, dst)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.PredictBatch(xs, dst)
+		}
+	})
+	b.Run("predictor", func(b *testing.B) {
+		p := net.NewPredictor()
+		p.Forward(xs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Forward(xs)
+		}
+	})
+}
+
+// BenchmarkDeepUQ pins batched MC-dropout UQ on a deep surrogate with
+// THREE dropout layers (8-64-[drop]-64-[drop]-64-[drop]-1), where the
+// PR-3 tail fusion does not apply and the per-pass path replays the
+// whole suffix every pass (re-masking every weight panel each time). The
+// batch is a realistic coalesced per-shard slice (8 rows), where that
+// per-pass overhead is not hidden by matmul bulk. The pass-stacked
+// compiled path runs all passes through one tall fused matmul per dense
+// stage: 4 matmul sweeps total versus 1 + 3·passes for per-pass replay
+// (the reported matmul-sweeps metric), at 0 allocs/op.
+func BenchmarkDeepUQ(b *testing.B) {
+	const passes = 30
+	rng := xrand.New(0xf00f)
+	net := nn.NewMLP(xrand.New(2), nn.Tanh, 0.15, 8, 64, 64, 64, 1)
+	xs := tensor.NewMatrix(8, 8)
+	for i := range xs.Data {
+		xs.Data[i] = rng.Range(-1, 1)
+	}
+
+	b.Run("passstacked", func(b *testing.B) {
+		c := net.CompileBatch(64)
+		mean := tensor.NewMatrix(8, 1)
+		std := tensor.NewMatrix(8, 1)
+		c.PredictMCBatch(xs, passes, mean, std)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.PredictMCBatch(xs, passes, mean, std)
+		}
+		// 1 prefix dense + 3 suffix dense stages, passes shared.
+		b.ReportMetric(4, "matmul-sweeps")
+	})
+	b.Run("perpass", func(b *testing.B) {
+		p := net.NewPredictor()
+		p.PredictMCBatch(xs, passes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.PredictMCBatch(xs, passes)
+		}
+		// 1 prefix dense + 3 fused dropout-dense sweeps per pass.
+		b.ReportMetric(1+3*passes, "matmul-sweeps")
+	})
+}
+
+// BenchmarkMatMulParallelSlope measures the matmul fan-out break-even
+// slope the PR-2 heuristic assumes: at the default threshold of
+// 8192·workers flops, fanned-out and inline execution should be within
+// the same order — below it fan-out loses, above it wins. Each sub-bench
+// sizes the product at exactly 8192·workers multiply-accumulates
+// (rows = 32·workers, k = p = 16) and pins both paths; run on a
+// multi-core box (ROADMAP open item) the inline/fanout ratio across the
+// workers axis is the measured slope. GOMAXPROCS is attached as a metric
+// so snapshots record the machine shape.
+func BenchmarkMatMulParallelSlope(b *testing.B) {
+	rng := xrand.New(0x510e)
+	for _, workers := range []int{1, 2, 4, 8} {
+		rows := 32 * workers
+		a := tensor.NewMatrix(rows, 16)
+		bm := tensor.NewMatrix(16, 16)
+		dst := tensor.NewMatrix(rows, 16)
+		for i := range a.Data {
+			a.Data[i] = rng.Range(-1, 1)
+		}
+		for i := range bm.Data {
+			bm.Data[i] = rng.Range(-1, 1)
+		}
+		run := func(b *testing.B, fanout bool) {
+			oldW, oldT := tensor.ParallelWorkers, tensor.ParallelFlopThreshold
+			defer func() {
+				tensor.ParallelWorkers, tensor.ParallelFlopThreshold = oldW, oldT
+			}()
+			if fanout {
+				tensor.ParallelWorkers, tensor.ParallelFlopThreshold = workers, 1
+			} else {
+				tensor.ParallelWorkers, tensor.ParallelFlopThreshold = 1, 1 << 60
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, a, bm)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		}
+		b.Run(fmt.Sprintf("workers=%d/inline", workers), func(b *testing.B) { run(b, false) })
+		b.Run(fmt.Sprintf("workers=%d/fanout", workers), func(b *testing.B) { run(b, true) })
+	}
 }
 
 // BenchmarkCoalescedQPS measures per-query serving throughput for N

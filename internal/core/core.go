@@ -65,6 +65,17 @@ type BatchSurrogate interface {
 	PredictBatchWithUQ(x *tensor.Matrix) (mean, std *tensor.Matrix)
 }
 
+// BatchSurrogateInto is a BatchSurrogate that can write its batched UQ
+// predictions into caller-owned matrices — the allocation-free form the
+// wrappers' zero-alloc batch serving loop (QueryBatchInto) prefers.
+type BatchSurrogateInto interface {
+	BatchSurrogate
+	// PredictBatchWithUQInto writes per-row predictive means and stds
+	// (target units) into mean/std, reshaping both to x.Rows x out. Both
+	// must be non-nil.
+	PredictBatchWithUQInto(x, mean, std *tensor.Matrix)
+}
+
 // NNSurrogate is the reference Surrogate: a dropout MLP trained on
 // standardized features/targets, with MC-dropout UQ.
 type NNSurrogate struct {
@@ -74,6 +85,12 @@ type NNSurrogate struct {
 	Dropout float64
 	// MCPasses is the number of stochastic forward passes for UQ.
 	MCPasses int
+	// MaxBatch is the compiled batch-program chunk width: the largest row
+	// count one fused batch pass serves. Wider batches are split
+	// internally, so any batch size works; this only tunes the pooled
+	// scratch footprint versus per-pass amortization. 0 selects
+	// nn.DefaultMaxBatch.
+	MaxBatch int
 	// Train hyperparameters.
 	Epochs    int
 	BatchSize int
@@ -88,7 +105,8 @@ type NNSurrogate struct {
 	yScaler  *nn.Scaler
 	trained  bool
 
-	inPool sync.Pool // *[]float64 scaled-input staging, len inDim
+	inPool    sync.Pool // *[]float64 scaled-input staging, len inDim
+	stagePool sync.Pool // *tensor.Matrix scaled-batch staging
 }
 
 // getIn leases a pooled scaled-input buffer; putIn returns it.
@@ -101,6 +119,43 @@ func (s *NNSurrogate) getIn() *[]float64 {
 }
 
 func (s *NNSurrogate) putIn(p *[]float64) { s.inPool.Put(p) }
+
+// batchWidth returns the compiled batch chunk width.
+func (s *NNSurrogate) batchWidth() int {
+	if s.MaxBatch > 0 {
+		return s.MaxBatch
+	}
+	return nn.DefaultMaxBatch
+}
+
+// getStage leases a pooled staging matrix holding the standardized copy
+// of x; putStage returns it.
+func (s *NNSurrogate) getStage(x *tensor.Matrix) *tensor.Matrix {
+	m, ok := s.stagePool.Get().(*tensor.Matrix)
+	if !ok {
+		m = tensor.NewMatrix(x.Rows, x.Cols)
+	}
+	return s.xScaler.TransformInto(m, x)
+}
+
+func (s *NNSurrogate) putStage(m *tensor.Matrix) { s.stagePool.Put(m) }
+
+// unscaleRows maps standardized mean rows (and, when std is non-nil,
+// predictive std rows) back to target units in place.
+func (s *NNSurrogate) unscaleRows(mean, std *tensor.Matrix) {
+	for i := 0; i < mean.Rows; i++ {
+		mrow := mean.Row(i)
+		for j := range mrow {
+			mrow[j] = mrow[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
+		}
+		if std != nil {
+			srow := std.Row(i)
+			for j := range srow {
+				srow[j] = s.yScaler.InverseScale(j, srow[j])
+			}
+		}
+	}
+}
 
 // NewNNSurrogate builds an untrained surrogate for an in→out mapping.
 func NewNNSurrogate(in, out int, hidden []int, dropout float64, rng *xrand.Rand) *NNSurrogate {
@@ -133,10 +188,11 @@ func (s *NNSurrogate) Train(x, y *tensor.Matrix) error {
 	if err != nil {
 		return fmt.Errorf("core: surrogate training: %w", err)
 	}
-	// Compile the fused inference program: single-point serving runs it
-	// instead of the interpreted layer graph (nil means an uncompilable
-	// architecture; the flexible path below then serves).
-	s.compiled = s.net.Compile()
+	// Compile the fused inference program — single-point serving runs it
+	// instead of the interpreted layer graph, and the batch entry points
+	// run its chunked batch form (nil means an uncompilable architecture;
+	// the flexible path below then serves).
+	s.compiled = s.net.CompileBatch(s.batchWidth())
 	s.trained = true
 	return nil
 }
@@ -189,34 +245,52 @@ func (s *NNSurrogate) PredictWithUQ(x []float64) (mean, std []float64) {
 }
 
 // PredictBatch returns point predictions (original units) for every row
-// of x in one amortized network pass.
+// of x. On the compiled path the whole batch runs through the fused
+// batch program (split into MaxBatch-row chunks internally); only the
+// returned matrix is allocated.
 func (s *NNSurrogate) PredictBatch(x *tensor.Matrix) *tensor.Matrix {
 	s.mustBeTrained()
-	out := s.net.PredictBatch(s.xScaler.Transform(x))
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] = row[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
-		}
+	var out *tensor.Matrix
+	if c := s.compiled; c != nil {
+		xs := s.getStage(x)
+		out = c.PredictBatch(xs, tensor.NewMatrix(x.Rows, s.outDim))
+		s.putStage(xs)
+	} else {
+		out = s.net.PredictBatch(s.xScaler.Transform(x))
 	}
+	s.unscaleRows(out, nil)
 	return out
 }
 
-// PredictBatchWithUQ implements BatchSurrogate using batched MC dropout:
-// each of the MCPasses stochastic passes runs one matmul per layer over
-// the whole batch instead of one per query row.
+// PredictBatchWithUQ implements BatchSurrogate using batched MC dropout.
+// The returned matrices are caller-owned; hot loops that manage their own
+// buffers use PredictBatchWithUQInto.
 func (s *NNSurrogate) PredictBatchWithUQ(x *tensor.Matrix) (mean, std *tensor.Matrix) {
-	s.mustBeTrained()
-	mean, std = s.net.PredictMCBatch(s.xScaler.Transform(x), s.MCPasses)
-	for i := 0; i < mean.Rows; i++ {
-		mrow := mean.Row(i)
-		srow := std.Row(i)
-		for j := range mrow {
-			mrow[j] = mrow[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
-			srow[j] = s.yScaler.InverseScale(j, srow[j])
-		}
-	}
+	mean = tensor.NewMatrix(x.Rows, s.outDim)
+	std = tensor.NewMatrix(x.Rows, s.outDim)
+	s.PredictBatchWithUQInto(x, mean, std)
 	return mean, std
+}
+
+// PredictBatchWithUQInto implements BatchSurrogateInto. On the compiled
+// path the MCPasses stochastic evaluations run pass-stacked — every pass
+// of a chunk shares one tall fused matmul per dense stage instead of
+// replaying the suffix per pass — and a warmed call with caller-provided
+// matrices performs zero heap allocations, for any batch width.
+func (s *NNSurrogate) PredictBatchWithUQInto(x, mean, std *tensor.Matrix) {
+	s.mustBeTrained()
+	if c := s.compiled; c != nil {
+		xs := s.getStage(x)
+		c.PredictMCBatch(xs, s.MCPasses, mean, std)
+		s.putStage(xs)
+	} else {
+		m, sd := s.net.PredictMCBatch(s.xScaler.Transform(x), s.MCPasses)
+		mean.Reshape(x.Rows, s.outDim)
+		std.Reshape(x.Rows, s.outDim)
+		copy(mean.Data, m.Data)
+		copy(std.Data, sd.Data)
+	}
+	s.unscaleRows(mean, std)
 }
 
 // Trained implements Surrogate.
@@ -262,6 +336,11 @@ type WrapperConfig struct {
 	// tolerate concurrent Run calls — the same contract concurrent
 	// wrapper use already imposes.
 	OracleWorkers int
+	// Retention bounds the retained training window (sliding window or
+	// reservoir sampling) so long-running servers keep refits O(window)
+	// instead of O(total history). The zero value retains everything.
+	// A bounded window is raised to at least MinTrainSamples.
+	Retention Retention
 }
 
 // Wrapper is the MLaroundHPC runtime: it answers Query calls from the
@@ -282,9 +361,33 @@ type Wrapper struct {
 
 	mu            sync.RWMutex // surrogate state, xs/ys, newSinceTrain
 	xs, ys        *tensor.Matrix
+	retain        retainer
 	newSinceTrain int
 
+	scratch sync.Pool // *batchScratch for QueryBatchInto
+
 	ledgerBox // ledger lock is always acquired after mu
+}
+
+// batchScratch pools the per-call working state of one QueryBatchInto:
+// the miss index list and the surrogate's mean/std staging, so a warmed
+// steady-state batch query performs zero heap allocations.
+type batchScratch struct {
+	miss      []int
+	mean, std *tensor.Matrix
+}
+
+// mats returns the scratch mean/std matrices reshaped to rows x out,
+// minting them on first use.
+func (sc *batchScratch) mats(rows, out int) (mean, std *tensor.Matrix) {
+	if sc.mean == nil {
+		sc.mean = tensor.NewMatrix(rows, out)
+		sc.std = tensor.NewMatrix(rows, out)
+	} else {
+		sc.mean.Reshape(rows, out)
+		sc.std.Reshape(rows, out)
+	}
+	return sc.mean, sc.std
 }
 
 // NewWrapper constructs a wrapper. The surrogate must provide non-trivial
@@ -293,10 +396,12 @@ func NewWrapper(oracle Oracle, surrogate Surrogate, cfg WrapperConfig) *Wrapper 
 	if cfg.MinTrainSamples <= 0 {
 		cfg.MinTrainSamples = 50
 	}
+	cfg.Retention = clampRetention(cfg.Retention, cfg.MinTrainSamples)
 	in, out := oracle.Dims()
 	return &Wrapper{
 		oracle: oracle, surrogate: surrogate, cfg: cfg,
 		xs: tensor.NewMatrix(0, in), ys: tensor.NewMatrix(0, out),
+		retain: newRetainer(cfg.Retention, 0xd5a75eed),
 	}
 }
 
@@ -324,14 +429,20 @@ func (w *Wrapper) Query(x []float64) (y []float64, src Source, std []float64, er
 		return nil, FromSimulation, nil, fmt.Errorf("core: oracle: %w", err)
 	}
 	w.recordSimulation(dt)
-	w.mu.Lock()
-	w.addSampleLocked(x, y)
-	err = w.maybeTrainLocked()
-	w.mu.Unlock()
-	if err != nil {
+	if err := w.absorbSample(x, y); err != nil {
 		return nil, FromSimulation, nil, err
 	}
 	return y, FromSimulation, nil, nil
+}
+
+// absorbSample feeds one oracle result into the training set and
+// triggers a refit when due, with the same panic-safe locking as
+// absorbMisses.
+func (w *Wrapper) absorbSample(x, y []float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.addSampleLocked(x, y)
+	return w.maybeTrainLocked()
 }
 
 // tryLookup serves x from the surrogate under the read lock when the UQ
@@ -367,21 +478,49 @@ type BatchResult struct {
 // one amortized batched surrogate pass and falling back to the oracle
 // (plus training-set accumulation) for the rest. Per-row oracle failures
 // are reported in the row's Err; a surrogate retraining failure is
-// returned as the batch-level error. Safe for concurrent use alongside
-// Query and other QueryBatch calls.
+// returned as the batch-level error. The returned results are
+// caller-owned. Safe for concurrent use alongside Query and other
+// QueryBatch calls.
 func (w *Wrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 	if xs.Rows == 0 {
 		return nil, nil
 	}
 	res := make([]BatchResult, xs.Rows)
-	miss := w.lookupBatch(xs, res)
+	return res, w.QueryBatchInto(xs, res)
+}
 
+// QueryBatchInto is the buffer-reusing form of QueryBatch: results land
+// in res (len == xs.Rows), and each surrogate-served row's Y/Std slices
+// are overwritten in place when their capacity suffices. A steady-state
+// loop that reuses one res across calls therefore performs zero heap
+// allocations end to end — the shape simulation sweeps and other
+// batch-driving callers want. Rows answered by the oracle receive
+// oracle-owned slices as in QueryBatch.
+func (w *Wrapper) QueryBatchInto(xs *tensor.Matrix, res []BatchResult) error {
+	if xs.Rows == 0 {
+		return nil
+	}
+	if len(res) != xs.Rows {
+		return fmt.Errorf("core: res has %d entries for a %d-row batch", len(res), xs.Rows)
+	}
+	sc := w.getScratch()
+	miss := w.lookupBatch(xs, res, sc)
 	if len(miss) == 0 {
-		return res, nil
+		w.putScratch(sc)
+		return nil
 	}
 	// Oracle fallback outside the locks, fanned out over the bounded
 	// worker pool when configured.
 	oracleFanout(w.oracle, xs, miss, res, w.cfg.OracleWorkers, w.record)
+	err := w.absorbMisses(xs, miss, res)
+	w.putScratch(sc)
+	return err
+}
+
+// absorbMisses feeds successful oracle fallbacks into the training set
+// and triggers a refit when due. The deferred unlock keeps the wrapper
+// usable even if a user-supplied Surrogate.Train panics.
+func (w *Wrapper) absorbMisses(xs *tensor.Matrix, miss []int, res []BatchResult) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, i := range miss {
@@ -389,41 +528,84 @@ func (w *Wrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 			w.addSampleLocked(xs.Row(i), res[i].Y)
 		}
 	}
-	return res, w.maybeTrainLocked()
+	return w.maybeTrainLocked()
+}
+
+func (w *Wrapper) getScratch() *batchScratch {
+	if sc, ok := w.scratch.Get().(*batchScratch); ok {
+		return sc
+	}
+	return &batchScratch{}
+}
+
+func (w *Wrapper) putScratch(sc *batchScratch) { w.scratch.Put(sc) }
+
+// setRow stores one surrogate answer in res[i], reusing the row's Y/Std
+// capacity so steady-state batch loops never reallocate.
+func setRow(res []BatchResult, i int, mean, sd []float64) {
+	res[i].Y = append(res[i].Y[:0], mean...)
+	res[i].Std = append(res[i].Std[:0], sd...)
+	res[i].Src = FromSurrogate
+	res[i].Err = nil
+}
+
+// gateBatchRows applies the UQ gate to every row of a batched surrogate
+// answer: passing rows are stored in res (into the caller's reused
+// buffers when reuse is set, aliasing the surrogate's matrices
+// otherwise) and failing rows are appended to miss. idx maps answer rows
+// to res indices (nil = identity, for unpartitioned batches). This is
+// the single gate loop shared by both wrappers' batch paths.
+func gateBatchRows(res []BatchResult, miss, idx []int, mean, std *tensor.Matrix, threshold float64, reuse bool) (newMiss []int, served, rejected int) {
+	for k := 0; k < mean.Rows; k++ {
+		i := k
+		if idx != nil {
+			i = idx[k]
+		}
+		sd := std.Row(k)
+		if maxOf(sd) <= threshold {
+			if reuse {
+				setRow(res, i, mean.Row(k), sd)
+			} else {
+				res[i] = BatchResult{Y: mean.Row(k), Src: FromSurrogate, Std: sd}
+			}
+			served++
+		} else {
+			miss = append(miss, i)
+			rejected++
+		}
+	}
+	return miss, served, rejected
 }
 
 // lookupBatch fills res with surrogate answers for the rows that pass
-// the UQ gate under the read lock and returns the indices that must fall
-// back to the oracle.
-func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult) []int {
-	miss := make([]int, 0, xs.Rows)
+// the UQ gate under the read lock and returns the indices (backed by
+// sc.miss) that must fall back to the oracle.
+func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult, sc *batchScratch) []int {
+	miss := sc.miss[:0]
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	bsi, isInto := w.surrogate.(BatchSurrogateInto)
 	bs, isBatch := w.surrogate.(BatchSurrogate)
 	switch {
+	case w.surrogate.Trained() && isInto:
+		// Allocation-free batch path: the surrogate writes into pooled
+		// scratch and passing rows are copied into the caller's reusable
+		// result slices.
+		_, out := w.Dims()
+		mean, std := sc.mats(xs.Rows, out)
+		t0 := time.Now()
+		bsi.PredictBatchWithUQInto(xs, mean, std)
+		per := time.Since(t0) / time.Duration(xs.Rows)
+		var served, rejected int
+		miss, served, rejected = gateBatchRows(res, miss, nil, mean, std, w.cfg.UQThreshold, true)
+		w.recordBatchLookups(per, served, rejected)
 	case w.surrogate.Trained() && isBatch:
 		t0 := time.Now()
 		mean, std := bs.PredictBatchWithUQ(xs)
 		per := time.Since(t0) / time.Duration(xs.Rows)
-		served, rejected := 0, 0
-		for i := 0; i < xs.Rows; i++ {
-			sd := std.Row(i)
-			if maxOf(sd) <= w.cfg.UQThreshold {
-				res[i] = BatchResult{Y: mean.Row(i), Src: FromSurrogate, Std: sd}
-				served++
-			} else {
-				miss = append(miss, i)
-				rejected++
-			}
-		}
-		w.record(func(l *Ledger) {
-			for k := 0; k < served; k++ {
-				l.RecordLookup(per)
-			}
-			for k := 0; k < rejected; k++ {
-				l.RecordRejectedLookup(per)
-			}
-		})
+		var served, rejected int
+		miss, served, rejected = gateBatchRows(res, miss, nil, mean, std, w.cfg.UQThreshold, false)
+		w.recordBatchLookups(per, served, rejected)
 	case w.surrogate.Trained():
 		// Non-batch surrogate: per-row lookups, still under one read lock.
 		for i := 0; i < xs.Rows; i++ {
@@ -443,15 +625,14 @@ func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult) []int {
 			miss = append(miss, i)
 		}
 	}
+	sc.miss = miss
 	return miss
 }
 
-// addSampleLocked appends one oracle result; callers hold w.mu.
+// addSampleLocked feeds one oracle result through the retention policy;
+// callers hold w.mu.
 func (w *Wrapper) addSampleLocked(x, y []float64) {
-	w.xs.Data = append(w.xs.Data, x...)
-	w.xs.Rows++
-	w.ys.Data = append(w.ys.Data, y...)
-	w.ys.Rows++
+	w.retain.add(w.xs, w.ys, x, y)
 	w.newSinceTrain++
 }
 

@@ -188,6 +188,21 @@ func (b *ledgerBox) recordRejectedLookup(d time.Duration) {
 	b.ledMu.Unlock()
 }
 
+// recordBatchLookups folds one batched lookup pass — served accepted
+// rows and rejected UQ failures, each charged the per-row share of the
+// pass — into a single lock acquisition, closure-free so the zero-alloc
+// batch serving loop can afford it.
+func (b *ledgerBox) recordBatchLookups(per time.Duration, served, rejected int) {
+	b.ledMu.Lock()
+	for k := 0; k < served; k++ {
+		b.ledger.RecordLookup(per)
+	}
+	for k := 0; k < rejected; k++ {
+		b.ledger.RecordRejectedLookup(per)
+	}
+	b.ledMu.Unlock()
+}
+
 func (b *ledgerBox) recordSimulation(d time.Duration) {
 	b.ledMu.Lock()
 	b.ledger.RecordSimulation(d)

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// fillRow returns an n-wide row whose first element tags the sample's
+// birth index, so retention tests can identify which samples survived.
+func fillRow(idx, n int) []float64 {
+	row := make([]float64, n)
+	row[0] = float64(idx)
+	return row
+}
+
+// TestRetainerWindowKeepsRecent checks the sliding-window policy: the
+// store stays within MaxSamples plus the amortization slack and always
+// holds a contiguous run of the most recent samples.
+func TestRetainerWindowKeepsRecent(t *testing.T) {
+	const max = 20
+	r := newRetainer(Retention{Policy: RetainWindow, MaxSamples: max}, 1)
+	xs := tensor.NewMatrix(0, 2)
+	ys := tensor.NewMatrix(0, 1)
+	for i := 0; i < 500; i++ {
+		r.add(xs, ys, fillRow(i, 2), fillRow(i, 1))
+		if xs.Rows > max+max/4 {
+			t.Fatalf("after %d adds the window holds %d rows, want <= %d", i+1, xs.Rows, max+max/4)
+		}
+		if ys.Rows != xs.Rows {
+			t.Fatal("xs and ys row counts diverged")
+		}
+	}
+	if xs.Rows < max {
+		t.Fatalf("window shrank below MaxSamples: %d rows", xs.Rows)
+	}
+	// The retained tags must be the last xs.Rows indices in order.
+	first := 500 - xs.Rows
+	for i := 0; i < xs.Rows; i++ {
+		if got := int(xs.At(i, 0)); got != first+i {
+			t.Fatalf("row %d holds sample %d, want %d (window lost recency order)", i, got, first+i)
+		}
+		if int(ys.At(i, 0)) != first+i {
+			t.Fatal("ys row disagrees with its paired xs row")
+		}
+	}
+}
+
+// TestRetainerReservoirBoundedAndCovering checks reservoir sampling: the
+// store never exceeds MaxSamples, pairs stay aligned, and the survivors
+// cover the whole history rather than only its tail.
+func TestRetainerReservoirBoundedAndCovering(t *testing.T) {
+	const max, total = 50, 2000
+	r := newRetainer(Retention{Policy: RetainReservoir, MaxSamples: max}, 7)
+	xs := tensor.NewMatrix(0, 1)
+	ys := tensor.NewMatrix(0, 1)
+	for i := 0; i < total; i++ {
+		r.add(xs, ys, fillRow(i, 1), fillRow(i, 1))
+		if xs.Rows > max {
+			t.Fatalf("reservoir grew to %d rows, want <= %d", xs.Rows, max)
+		}
+	}
+	if xs.Rows != max {
+		t.Fatalf("reservoir holds %d rows after %d adds, want %d", xs.Rows, total, max)
+	}
+	old := 0
+	for i := 0; i < max; i++ {
+		if xs.At(i, 0) != ys.At(i, 0) {
+			t.Fatal("reservoir replacement desynchronized xs and ys")
+		}
+		if xs.At(i, 0) < total/2 {
+			old++
+		}
+	}
+	// A uniform sample keeps ~50% old samples; a window would keep none.
+	if old == 0 {
+		t.Fatal("reservoir retained no samples from the first half of the history")
+	}
+}
+
+// TestWrapperRetentionBoundsTrainingSet runs a wrapper whose UQ gate
+// always fails (so every query feeds the training set) and checks the
+// window stays bounded while refits keep succeeding.
+func TestWrapperRetentionBoundsTrainingSet(t *testing.T) {
+	rng := xrand.New(0x7e7a1)
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0] + x[1]}, nil
+	}}
+	sur := NewNNSurrogate(2, 1, []int{8}, 0.1, rng)
+	sur.Epochs = 5
+	sur.MCPasses = 4
+	const window = 30
+	w := NewWrapper(oracle, sur, WrapperConfig{
+		MinTrainSamples: 10, RetrainEvery: 25, UQThreshold: -1, // gate never passes
+		Retention: Retention{Policy: RetainWindow, MaxSamples: window},
+	})
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+		if _, src, _, err := w.Query(x); err != nil || src != FromSimulation {
+			t.Fatalf("query %d: src=%v err=%v", i, src, err)
+		}
+		if n := w.TrainingSetSize(); n > window+window/4 {
+			t.Fatalf("training set grew to %d rows, want <= %d", n, window+window/4)
+		}
+	}
+	if !sur.Trained() {
+		t.Fatal("surrogate never trained under the bounded window")
+	}
+	if w.Ledger().NTrainingRuns < 2 {
+		t.Fatal("refits did not keep firing under retention")
+	}
+}
+
+// TestShardedRetentionBoundsShards ingests a long stream into a sharded
+// wrapper with a reservoir and checks every shard stays bounded.
+func TestShardedRetentionBoundsShards(t *testing.T) {
+	rng := xrand.New(0x7e7a2)
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0] * x[1]}, nil
+	}}
+	factory := NewNNSurrogateFactory(2, 1, []int{8}, 0.1, rng, func(s *NNSurrogate) {
+		s.Epochs = 5
+		s.MCPasses = 4
+	})
+	const window = 25
+	w := NewShardedWrapper(oracle, factory, ShardedConfig{
+		Shards: 3, MinTrainSamples: 10, UQThreshold: 100,
+		Retention: Retention{Policy: RetainReservoir, MaxSamples: window},
+	})
+	xs := tensor.NewMatrix(600, 2)
+	ys := tensor.NewMatrix(600, 1)
+	for i := 0; i < xs.Rows; i++ {
+		a, b := rng.Range(-1, 1), rng.Range(-1, 1)
+		xs.Set(i, 0, a)
+		xs.Set(i, 1, b)
+		ys.Set(i, 0, a*b)
+	}
+	if err := w.Ingest(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for si, n := range w.ShardSizes() {
+		if n > window {
+			t.Fatalf("shard %d holds %d samples, want <= %d", si, n, window)
+		}
+	}
+	if err := w.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The bounded shards must still serve.
+	y, src, _, err := w.Query([]float64{0.2, 0.4})
+	if err != nil || src != FromSurrogate {
+		t.Fatalf("post-retention query src=%v err=%v", src, err)
+	}
+	if math.IsNaN(y[0]) {
+		t.Fatal("NaN prediction from retention-trained shard")
+	}
+}
+
+// TestRetentionClampedToMinTrain checks that a window smaller than
+// MinTrainSamples is raised so the first fit stays reachable.
+func TestRetentionClampedToMinTrain(t *testing.T) {
+	rng := xrand.New(0x7e7a3)
+	oracle := OracleFunc{In: 1, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{2 * x[0]}, nil
+	}}
+	sur := NewNNSurrogate(1, 1, []int{4}, 0.1, rng)
+	sur.Epochs = 5
+	w := NewWrapper(oracle, sur, WrapperConfig{
+		MinTrainSamples: 20, UQThreshold: 100,
+		Retention: Retention{Policy: RetainWindow, MaxSamples: 5}, // below MinTrainSamples
+	})
+	for i := 0; i < 40; i++ {
+		if _, _, _, err := w.Query([]float64{rng.Range(-1, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sur.Trained() {
+		t.Fatal("first fit never fired: retention window was not clamped to MinTrainSamples")
+	}
+}

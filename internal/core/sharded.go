@@ -135,6 +135,11 @@ type ShardedConfig struct {
 	// concurrent Run calls, the same contract concurrent Wrapper use
 	// already requires.
 	OracleWorkers int
+	// Retention bounds each shard's retained training window (sliding
+	// window or reservoir sampling) so background refits stay O(window)
+	// on long-running servers. The zero value retains everything. A
+	// bounded window is raised to at least MinTrainSamples.
+	Retention Retention
 }
 
 // shard is one partition: its slice of the training set plus the
@@ -149,6 +154,7 @@ type shard struct {
 
 	mu            sync.Mutex // everything below
 	xs, ys        *tensor.Matrix
+	retain        retainer
 	newSinceTrain int
 	refitting     bool
 	nextSnapGen   int // id assigned to the next training snapshot
@@ -210,6 +216,8 @@ type ShardedWrapper struct {
 	autoStop chan struct{}
 	autoDone chan struct{}
 
+	scratch sync.Pool // *shardScratch for QueryBatchInto
+
 	ledgerBox
 }
 
@@ -233,6 +241,7 @@ func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfi
 	if cfg.OracleWorkers <= 0 {
 		cfg.OracleWorkers = runtime.GOMAXPROCS(0)
 	}
+	cfg.Retention = clampRetention(cfg.Retention, cfg.MinTrainSamples)
 	in, out := oracle.Dims()
 	w := &ShardedWrapper{
 		oracle: oracle, factory: factory, router: cfg.Router, cfg: cfg,
@@ -242,6 +251,7 @@ func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfi
 	for i := 0; i < cfg.Shards; i++ {
 		w.shards = append(w.shards, &shard{
 			xs: tensor.NewMatrix(0, in), ys: tensor.NewMatrix(0, out),
+			retain:       newRetainer(cfg.Retention, 0x5aa2d+uint64(i)*0x9e3779b9),
 			publishedGen: -1,
 		})
 	}
@@ -320,12 +330,30 @@ func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, o
 	return nil, nil, false
 }
 
+// shardScratch pools the per-call working state of one sharded
+// QueryBatchInto: the shard partition, the gather buffer, and the
+// embedded mean/std staging plus miss list shared with the unsharded
+// wrapper's scratch.
+type shardScratch struct {
+	batchScratch
+	byShard [][]int
+	sub     *tensor.Matrix
+}
+
+func (w *ShardedWrapper) getScratch() *shardScratch {
+	if sc, ok := w.scratch.Get().(*shardScratch); ok {
+		return sc
+	}
+	return &shardScratch{byShard: make([][]int, len(w.shards))}
+}
+
 // QueryBatch answers every row of xs: rows are partitioned by shard, each
 // shard's slice is served in one amortized batched surrogate pass, and the
 // UQ-rejected remainder fans out over the bounded oracle worker pool.
 // Per-row oracle failures are reported in the row's Err. Background refit
 // failures never surface here (see Wait); the returned error is reserved
-// for malformed input. Safe for concurrent use.
+// for malformed input. The returned results are caller-owned. Safe for
+// concurrent use.
 func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 	if xs.Rows == 0 {
 		return nil, nil
@@ -334,18 +362,39 @@ func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 		return nil, fmt.Errorf("core: batch has %d cols, oracle wants %d", xs.Cols, w.in)
 	}
 	res := make([]BatchResult, xs.Rows)
+	return res, w.QueryBatchInto(xs, res)
+}
+
+// QueryBatchInto is the buffer-reusing form of QueryBatch: surrogate-served
+// rows overwrite res[i].Y/Std in place when capacity suffices, so a
+// steady-state sweep loop reusing one res slice avoids the per-call result
+// allocations (oracle-answered rows still receive oracle-owned slices).
+func (w *ShardedWrapper) QueryBatchInto(xs *tensor.Matrix, res []BatchResult) error {
+	if xs.Rows == 0 {
+		return nil
+	}
+	if xs.Cols != w.in {
+		return fmt.Errorf("core: batch has %d cols, oracle wants %d", xs.Cols, w.in)
+	}
+	if len(res) != xs.Rows {
+		return fmt.Errorf("core: res has %d entries for a %d-row batch", len(res), xs.Rows)
+	}
+	sc := w.getScratch()
 
 	// Partition rows by shard.
-	byShard := make([][]int, len(w.shards))
+	byShard := sc.byShard
+	for si := range byShard {
+		byShard[si] = byShard[si][:0]
+	}
 	for i := 0; i < xs.Rows; i++ {
 		si := w.router.Route(xs.Row(i))
 		byShard[si] = append(byShard[si], i)
 	}
 
 	// Serve each shard's slice from its published surrogate; collect the
-	// UQ-rejected rows. The gather buffer is reused across shards.
-	var miss []int
-	var sub *tensor.Matrix
+	// UQ-rejected rows. The gather and staging buffers are reused across
+	// shards (and, through the pool, across calls).
+	miss := sc.miss[:0]
 	for si, idx := range byShard {
 		if len(idx) == 0 {
 			continue
@@ -356,30 +405,25 @@ func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 			continue
 		}
 		sur := *surp
-		if bs, isBatch := sur.(BatchSurrogate); isBatch {
-			sub = tensor.GatherRowsInto(sub, xs, idx)
+		if bsi, isInto := sur.(BatchSurrogateInto); isInto {
+			sc.sub = tensor.GatherRowsInto(sc.sub, xs, idx)
+			mean, std := sc.mats(len(idx), w.out)
 			t0 := time.Now()
-			mean, std := bs.PredictBatchWithUQ(sub)
+			bsi.PredictBatchWithUQInto(sc.sub, mean, std)
 			per := time.Since(t0) / time.Duration(len(idx))
-			served, rejected := 0, 0
-			for k, i := range idx {
-				sd := std.Row(k)
-				if maxOf(sd) <= w.cfg.UQThreshold {
-					res[i] = BatchResult{Y: mean.Row(k), Src: FromSurrogate, Std: sd}
-					served++
-				} else {
-					miss = append(miss, i)
-					rejected++
-				}
-			}
-			w.record(func(l *Ledger) {
-				for k := 0; k < served; k++ {
-					l.RecordLookup(per)
-				}
-				for k := 0; k < rejected; k++ {
-					l.RecordRejectedLookup(per)
-				}
-			})
+			var served, rejected int
+			miss, served, rejected = gateBatchRows(res, miss, idx, mean, std, w.cfg.UQThreshold, true)
+			w.recordBatchLookups(per, served, rejected)
+			continue
+		}
+		if bs, isBatch := sur.(BatchSurrogate); isBatch {
+			sc.sub = tensor.GatherRowsInto(sc.sub, xs, idx)
+			t0 := time.Now()
+			mean, std := bs.PredictBatchWithUQ(sc.sub)
+			per := time.Since(t0) / time.Duration(len(idx))
+			var served, rejected int
+			miss, served, rejected = gateBatchRows(res, miss, idx, mean, std, w.cfg.UQThreshold, false)
+			w.recordBatchLookups(per, served, rejected)
 			continue
 		}
 		for _, i := range idx {
@@ -395,8 +439,10 @@ func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 			}
 		}
 	}
+	sc.miss = miss
 	if len(miss) == 0 {
-		return res, nil
+		w.scratch.Put(sc)
+		return nil
 	}
 
 	// Oracle fallback: bounded parallel fan-out instead of a sequential
@@ -415,7 +461,8 @@ func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 			w.addSamples(w.shards[si], samples)
 		}
 	}
-	return res, nil
+	w.scratch.Put(sc)
+	return nil
 }
 
 // addSamples appends oracle results to a shard and kicks off a background
@@ -423,8 +470,7 @@ func (w *ShardedWrapper) QueryBatch(xs *tensor.Matrix) ([]BatchResult, error) {
 func (w *ShardedWrapper) addSamples(s *shard, samples [][2][]float64) {
 	s.mu.Lock()
 	for _, xy := range samples {
-		s.xs.AppendRow(xy[0])
-		s.ys.AppendRow(xy[1])
+		s.retain.add(s.xs, s.ys, xy[0], xy[1])
 		s.newSinceTrain++
 	}
 	snapX, snapY, gen, consumed := w.refitDueLocked(s)
@@ -666,8 +712,7 @@ func (w *ShardedWrapper) Ingest(xs, ys *tensor.Matrix) error {
 	for i := 0; i < xs.Rows; i++ {
 		s := w.shards[w.router.Route(xs.Row(i))]
 		s.mu.Lock()
-		s.xs.AppendRow(xs.Row(i))
-		s.ys.AppendRow(ys.Row(i))
+		s.retain.add(s.xs, s.ys, xs.Row(i), ys.Row(i))
 		s.newSinceTrain++
 		s.mu.Unlock()
 	}

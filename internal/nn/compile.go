@@ -32,7 +32,8 @@ const (
 type compiledStep struct {
 	kind    stepKind
 	in, out int
-	w       []float64 // in x out, row-major copy of the layer's W
+	w       []float64      // in x out, row-major copy of the layer's W
+	wm      *tensor.Matrix // matrix view over w for the batch kernels
 	b       []float64
 	act     Activation
 	p       float64 // dropout probability (stepDropout only)
@@ -51,9 +52,11 @@ type Compiled struct {
 	steps    []compiledStep
 	fs       int // first stochastic step (live dropout), -1 if none
 	maxW     int // widest activation buffer any step needs
+	maxBatch int // batch-program chunk width (rows per fused pass)
 	seedBase uint64
 	seedCtr  atomic.Uint64
 	pool     sync.Pool // *compiledCtx
+	bpool    sync.Pool // *compiledBatchCtx
 }
 
 // compiledCtx owns the per-call scratch of one in-flight inference: two
@@ -68,19 +71,42 @@ type compiledCtx struct {
 	ssq []float64
 }
 
+// DefaultMaxBatch is the batch-program chunk width Compile provisions
+// when the caller does not pick one via CompileBatch. It matches the
+// default coalescer micro-batch size so a coalesced dispatch runs as one
+// fused pass.
+const DefaultMaxBatch = 64
+
 // Compile flattens the network into a fused inference program. It
 // supports Dense and Dropout layers (the full serving-path vocabulary);
 // any other layer type returns nil, and callers fall back to the
-// interpreted Predictor path.
+// interpreted Predictor path. The program's batch entry points chunk at
+// DefaultMaxBatch rows; CompileBatch picks the width explicitly.
 func (n *Network) Compile() *Compiled {
-	c := &Compiled{seedBase: n.predictorSeed(), fs: -1}
+	return n.CompileBatch(DefaultMaxBatch)
+}
+
+// CompileBatch compiles the network like Compile with the batch program
+// sized for maxBatch rows per fused pass: PredictBatch and PredictMCBatch
+// accept any row count and internally split it into chunks of at most
+// maxBatch rows, each served from pooled ping-pong scratch at zero heap
+// allocations. Larger widths amortize per-pass overhead further at the
+// cost of proportionally larger pooled buffers (the MC scratch scales
+// with passes·maxBatch rows).
+func (n *Network) CompileBatch(maxBatch int) *Compiled {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	c := &Compiled{seedBase: n.predictorSeed(), fs: -1, maxBatch: maxBatch}
 	width := -1
 	for _, l := range n.Layers {
 		switch ly := l.(type) {
 		case *Dense:
+			w := append([]float64(nil), ly.W.Data...)
 			c.steps = append(c.steps, compiledStep{
 				kind: stepDense, in: ly.In, out: ly.Out,
-				w:   append([]float64(nil), ly.W.Data...),
+				w:   w,
+				wm:  &tensor.Matrix{Rows: ly.In, Cols: ly.Out, Data: w},
 				b:   append([]float64(nil), ly.B.Data...),
 				act: ly.Act,
 			})
@@ -112,6 +138,10 @@ func (n *Network) Compile() *Compiled {
 
 // Dims returns the program's input and output widths.
 func (c *Compiled) Dims() (in, out int) { return c.in, c.out }
+
+// MaxBatch returns the batch-program chunk width: the largest row count
+// one fused pass serves before the batch entry points split the input.
+func (c *Compiled) MaxBatch() int { return c.maxBatch }
 
 // getCtx leases a warm context, minting one with a fresh deterministic
 // rng substream on pool miss.
@@ -269,4 +299,280 @@ func (c *Compiled) PredictMC(x []float64, passes int, mean, std []float64) (m, s
 	}
 	c.pool.Put(ctx)
 	return mean, std
+}
+
+// compiledBatchCtx owns the per-call scratch of one in-flight batch
+// inference: ping-pong activation matrices for one chunk, the tall
+// pass-stacked panels for MC evaluation, the per-pass column masks, and
+// a private rng stream. All matrices grow on first use and are then
+// reused via Reshape, so a warmed context serves any chunk at zero heap
+// allocations.
+type compiledBatchCtx struct {
+	buf   [2]*tensor.Matrix // chunk ping-pong activations (≤ maxBatch rows)
+	tall  [2]*tensor.Matrix // pass-stacked panels (≤ passes·maxBatch rows)
+	masks []float64         // per-pass column masks, passes x width
+	view  tensor.Matrix     // reusable window header over the caller's input
+	rng   *xrand.Rand
+}
+
+// getBatchCtx leases a warm batch context, minting one with a fresh
+// deterministic rng substream on pool miss.
+func (c *Compiled) getBatchCtx() *compiledBatchCtx {
+	if ctx, ok := c.bpool.Get().(*compiledBatchCtx); ok {
+		return ctx
+	}
+	return &compiledBatchCtx{
+		rng: xrand.New(c.seedBase + c.seedCtr.Add(1)*0x9e3779b97f4a7c15),
+	}
+}
+
+// applyAct applies a to every element of xs in place.
+func applyAct(a Activation, xs []float64) {
+	if a == Identity {
+		return
+	}
+	for i, v := range xs {
+		xs[i] = a.apply(v)
+	}
+}
+
+// growFloats returns *buf resized to n, reallocating only on growth.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// forwardBatchPrefix runs steps [0,hi) of rows [lo,lo+b) of xs through
+// the chunk ping-pong buffers in eval mode and returns the resulting
+// activation matrix. The chunk is consumed through a reusable window
+// header over the caller's rows — never copied — so the result may alias
+// xs when hi contains no dense step; callers only read it either way.
+// The result is owned by ctx and valid until its next use.
+func (c *Compiled) forwardBatchPrefix(ctx *compiledBatchCtx, xs *tensor.Matrix, lo, b, hi int) *tensor.Matrix {
+	ctx.view = tensor.Matrix{Rows: b, Cols: c.in, Data: xs.Data[lo*c.in : (lo+b)*c.in]}
+	cur := &ctx.view
+	side := 0
+	for si := 0; si < hi; si++ {
+		st := &c.steps[si]
+		if st.kind != stepDense {
+			continue // eval-mode dropout is the identity
+		}
+		out := reuse(&ctx.buf[side], b, st.out)
+		tensor.MatMulBiasInto(out, cur, st.wm, st.b)
+		applyAct(st.act, out.Data)
+		cur = out
+		side = 1 - side
+	}
+	return cur
+}
+
+// checkBatchIn panics on input-width mismatch for the batch entry points.
+func (c *Compiled) checkBatchIn(xs *tensor.Matrix) {
+	if xs.Cols != c.in {
+		panic(fmt.Sprintf("nn: compiled batch has %d cols, program wants %d", xs.Cols, c.in))
+	}
+}
+
+// PredictBatch runs a deterministic (eval-mode) forward pass over every
+// row of xs, writing the results into dst (reshaped to xs.Rows x out; nil
+// allocates) and returning it. Inputs wider than the compiled MaxBatch
+// are split into chunks internally, so any row count is served — and with
+// a caller-provided dst a warmed call performs zero heap allocations
+// regardless of how many chunks it takes. Safe for concurrent use.
+func (c *Compiled) PredictBatch(xs, dst *tensor.Matrix) *tensor.Matrix {
+	c.checkBatchIn(xs)
+	if dst == nil {
+		dst = tensor.NewMatrix(xs.Rows, c.out)
+	} else {
+		dst.Reshape(xs.Rows, c.out)
+	}
+	ctx := c.getBatchCtx()
+	for lo := 0; lo < xs.Rows; lo += c.maxBatch {
+		b := xs.Rows - lo
+		if b > c.maxBatch {
+			b = c.maxBatch
+		}
+		out := c.forwardBatchPrefix(ctx, xs, lo, b, len(c.steps))
+		copy(dst.Data[lo*c.out:(lo+b)*c.out], out.Data)
+	}
+	c.bpool.Put(ctx)
+	return dst
+}
+
+// PredictMCBatch runs passes MC-dropout evaluations over every row of xs
+// and writes per-row predictive means and stds into mean/std (reshaped to
+// xs.Rows x out; nil allocates), returning both.
+//
+// Instead of replaying the stochastic suffix once per pass, the passes
+// are stacked: the deterministic prefix is evaluated once per chunk, its
+// output is tiled passes times into one tall (passes·rows)-row panel, and
+// the whole suffix — arbitrarily many [Dropout, Dense, ...] stages — runs
+// over that panel with ONE fused matmul per dense step. Each dropout step
+// samples one column mask per pass (shared across the pass's rows, the
+// same marginals as per-element masking) and scales its pass block, so
+// deep multi-dropout surrogates pay len(suffix) matmul sweeps total
+// rather than passes·len(suffix). Inputs wider than MaxBatch chunk
+// internally; with caller-provided buffers a warmed call allocates
+// nothing. The variance is accumulated as deviations from the first pass,
+// matching PredictMC's numerics. Safe for concurrent use.
+func (c *Compiled) PredictMCBatch(xs *tensor.Matrix, passes int, mean, std *tensor.Matrix) (m, s *tensor.Matrix) {
+	if passes < 1 {
+		panic("nn: PredictMCBatch needs at least one pass")
+	}
+	c.checkBatchIn(xs)
+	if mean == nil {
+		mean = tensor.NewMatrix(xs.Rows, c.out)
+	} else {
+		mean.Reshape(xs.Rows, c.out)
+	}
+	if std == nil {
+		std = tensor.NewMatrix(xs.Rows, c.out)
+	} else {
+		std.Reshape(xs.Rows, c.out)
+	}
+	if c.fs < 0 {
+		c.PredictBatch(xs, mean)
+		std.Zero()
+		return mean, std
+	}
+	ctx := c.getBatchCtx()
+	for lo := 0; lo < xs.Rows; lo += c.maxBatch {
+		b := xs.Rows - lo
+		if b > c.maxBatch {
+			b = c.maxBatch
+		}
+		c.predictMCChunk(ctx, xs, lo, b, passes, mean, std)
+	}
+	c.bpool.Put(ctx)
+	return mean, std
+}
+
+// predictMCChunk evaluates rows [lo,lo+b) of xs with MC dropout, writing
+// the reduced statistics into the matching mean/std rows. The canonical
+// [..., Dropout, Dense] tail takes the masked-weight panel fast path
+// (stack every pass's diag(mₜ)·W side by side and run all passes as one
+// b x (passes·out) matmul — O(in·passes·out) mask work); deeper
+// stochastic suffixes take the general pass-stacked path below.
+func (c *Compiled) predictMCChunk(ctx *compiledBatchCtx, xs *tensor.Matrix, lo, b, passes int, mean, std *tensor.Matrix) {
+	if c.fs == len(c.steps)-2 && c.steps[c.fs+1].kind == stepDense {
+		c.predictMCChunkTail(ctx, xs, lo, b, passes, mean, std)
+		return
+	}
+	pre := c.forwardBatchPrefix(ctx, xs, lo, b, c.fs)
+	tall := tensor.RepeatRowsInto(reuse(&ctx.tall[0], passes*b, pre.Cols), pre, passes)
+	side := 1
+	for si := c.fs; si < len(c.steps); si++ {
+		st := &c.steps[si]
+		switch st.kind {
+		case stepDropout:
+			if st.p == 0 {
+				continue
+			}
+			masks := growFloats(&ctx.masks, passes*tall.Cols)
+			keep := 1 - st.p
+			inv := 1 / keep
+			for i := range masks {
+				if ctx.rng.Float64() < keep {
+					masks[i] = inv
+				} else {
+					masks[i] = 0
+				}
+			}
+			tensor.ScaleColumnsBlocks(tall, tall, masks, b)
+		case stepDense:
+			out := reuse(&ctx.tall[side], passes*b, st.out)
+			tensor.MatMulBiasInto(out, tall, st.wm, st.b)
+			applyAct(st.act, out.Data)
+			tall = out
+			side = 1 - side
+		}
+	}
+	// Reduce the pass blocks row-wise with the shifted-data accumulation
+	// (deviations from pass 0) the single-query path uses.
+	out := c.out
+	invP := 1 / float64(passes)
+	for r := 0; r < b; r++ {
+		mrow := mean.Data[(lo+r)*out : (lo+r+1)*out]
+		srow := std.Data[(lo+r)*out : (lo+r+1)*out]
+		ref := tall.Data[r*out : (r+1)*out]
+		for j := 0; j < out; j++ {
+			refv := ref[j]
+			sum, ssq := 0.0, 0.0
+			for t := 1; t < passes; t++ {
+				d := tall.Data[(t*b+r)*out+j] - refv
+				sum += d
+				ssq += d * d
+			}
+			d := sum * invP
+			mrow[j] = refv + d
+			v := ssq*invP - d*d
+			if v < 0 {
+				v = 0
+			}
+			srow[j] = math.Sqrt(v)
+		}
+	}
+}
+
+// predictMCChunkTail is the canonical-tail fast path: the stochastic
+// suffix is exactly [Dropout, Dense], so each pass's thinned output layer
+// is h·(diag(mₜ)·W) and the passes stack side by side into one
+// b x (passes·out) product
+//
+//	Y = pre · [diag(m₁)W | diag(m₂)W | … ]
+//
+// — one matmul for all passes with mask work proportional to the weight
+// panel, not the batch. This is the batched generalization of the PR-3
+// Predictor.predictMCPanel fusion, sharing its column-mask semantics and
+// shifted-variance numerics.
+func (c *Compiled) predictMCChunkTail(ctx *compiledBatchCtx, xs *tensor.Matrix, lo, b, passes int, mean, std *tensor.Matrix) {
+	pre := c.forwardBatchPrefix(ctx, xs, lo, b, c.fs)
+	dr := &c.steps[c.fs]
+	nd := &c.steps[c.fs+1]
+	in, out := nd.in, nd.out
+	packW := reuse(&ctx.tall[0], in, passes*out)
+	keep := 1 - dr.p
+	inv := 1 / keep
+	for r := 0; r < in; r++ {
+		src := nd.w[r*out : (r+1)*out]
+		dstRow := packW.Data[r*passes*out : (r+1)*passes*out]
+		for t := 0; t < passes; t++ {
+			m := 0.0
+			if ctx.rng.Float64() < keep {
+				m = inv
+			}
+			seg := dstRow[t*out : (t+1)*out]
+			for j, v := range src {
+				seg[j] = v * m
+			}
+		}
+	}
+	packY := reuse(&ctx.tall[1], b, passes*out)
+	tensor.MatMulInto(packY, pre, packW)
+	invP := 1 / float64(passes)
+	for r := 0; r < b; r++ {
+		yrow := packY.Data[r*passes*out : (r+1)*passes*out]
+		mrow := mean.Data[(lo+r)*out : (lo+r+1)*out]
+		srow := std.Data[(lo+r)*out : (lo+r+1)*out]
+		for j := 0; j < out; j++ {
+			ref := nd.act.apply(yrow[j] + nd.b[j])
+			sum, ssq := 0.0, 0.0
+			for t := 1; t < passes; t++ {
+				v := nd.act.apply(yrow[t*out+j] + nd.b[j])
+				d := v - ref
+				sum += d
+				ssq += d * d
+			}
+			d := sum * invP
+			mrow[j] = ref + d
+			v := ssq*invP - d*d
+			if v < 0 {
+				v = 0
+			}
+			srow[j] = math.Sqrt(v)
+		}
+	}
 }

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// batchProbe builds a deterministic input batch.
+func batchProbe(rng *xrand.Rand, rows, cols int) *tensor.Matrix {
+	x := tensor.NewMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-2, 2)
+	}
+	return x
+}
+
+// TestCompiledPredictBatchMatchesPredict checks the fused batch program
+// against the single-query paths, including inputs wider than the
+// compiled chunk width (which must split internally, not degrade).
+func TestCompiledPredictBatchMatchesPredict(t *testing.T) {
+	rng := xrand.New(31)
+	net := NewMLP(rng, Tanh, 0.1, 6, 30, 48, 3)
+	for _, maxBatch := range []int{1, 4, 64} {
+		c := net.CompileBatch(maxBatch)
+		if c == nil {
+			t.Fatal("CompileBatch returned nil for a Dense/Dropout network")
+		}
+		if c.MaxBatch() != maxBatch {
+			t.Fatalf("MaxBatch() = %d, want %d", c.MaxBatch(), maxBatch)
+		}
+		x := batchProbe(rng.Split(), 13, 6) // 13 rows: exercises partial chunks
+		got := c.PredictBatch(x, nil)
+		for i := 0; i < x.Rows; i++ {
+			want := net.Predict(x.Row(i))
+			for j := range want {
+				if math.Abs(got.At(i, j)-want[j]) > 1e-12 {
+					t.Fatalf("maxBatch=%d row %d output %d: batch %g vs single %g",
+						maxBatch, i, j, got.At(i, j), want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledPredictBatchZeroAlloc pins the tentpole contract: a warmed
+// batch forward with a caller-provided destination allocates nothing,
+// even when the input spans several chunks.
+func TestCompiledPredictBatchZeroAlloc(t *testing.T) {
+	skipAllocCheckUnderRace(t)
+	oldT := tensor.ParallelFlopThreshold
+	tensor.ParallelFlopThreshold = 1 << 60 // keep kernels inline: fan-out allocates
+	defer func() { tensor.ParallelFlopThreshold = oldT }()
+	rng := xrand.New(32)
+	net := NewMLP(rng, Tanh, 0.1, 6, 30, 48, 3)
+	c := net.CompileBatch(8)
+	x := batchProbe(rng, 20, 6) // 3 chunks
+	dst := tensor.NewMatrix(20, 3)
+	c.PredictBatch(x, dst) // warm the ctx pool
+	if allocs := testing.AllocsPerRun(100, func() { c.PredictBatch(x, dst) }); allocs != 0 {
+		t.Fatalf("compiled PredictBatch allocates %g times per batch, want 0", allocs)
+	}
+}
+
+// TestCompiledPredictMCBatchZeroAlloc pins the same contract for the
+// pass-stacked MC path on a deep two-dropout surrogate.
+func TestCompiledPredictMCBatchZeroAlloc(t *testing.T) {
+	skipAllocCheckUnderRace(t)
+	oldT := tensor.ParallelFlopThreshold
+	tensor.ParallelFlopThreshold = 1 << 60
+	defer func() { tensor.ParallelFlopThreshold = oldT }()
+	rng := xrand.New(33)
+	net := NewMLP(rng, Tanh, 0.2, 6, 12, 8, 2)
+	c := net.CompileBatch(8)
+	x := batchProbe(rng, 20, 6)
+	mean := tensor.NewMatrix(20, 2)
+	std := tensor.NewMatrix(20, 2)
+	c.PredictMCBatch(x, 10, mean, std)
+	if allocs := testing.AllocsPerRun(100, func() { c.PredictMCBatch(x, 10, mean, std) }); allocs != 0 {
+		t.Fatalf("compiled PredictMCBatch allocates %g times per batch, want 0", allocs)
+	}
+}
+
+// TestCompiledPredictMCBatchDeterministicNet checks the no-dropout
+// collapse: the MC batch path must equal the eval batch pass with exactly
+// zero std, across chunked inputs.
+func TestCompiledPredictMCBatchDeterministicNet(t *testing.T) {
+	rng := xrand.New(34)
+	net := NewMLP(rng, Tanh, 0, 5, 16, 16, 2) // no dropout anywhere
+	c := net.CompileBatch(4)
+	x := batchProbe(rng, 11, 5)
+	mean, std := c.PredictMCBatch(x, 7, nil, nil)
+	want := c.PredictBatch(x, nil)
+	if !tensor.Equal(mean, want, 0) {
+		t.Fatal("deterministic MC batch mean differs from eval batch pass")
+	}
+	for _, v := range std.Data {
+		if v != 0 {
+			t.Fatalf("deterministic MC batch std %g, want exactly 0", v)
+		}
+	}
+}
+
+// TestCompiledPredictMCBatchColumnSharedMasks checks the pass-stacking
+// semantics: masks are sampled once per pass and shared by every row of
+// the chunk, so identical input rows inside one chunk must receive
+// identical MC statistics.
+func TestCompiledPredictMCBatchColumnSharedMasks(t *testing.T) {
+	rng := xrand.New(35)
+	net := NewMLP(rng, Tanh, 0.3, 4, 16, 8, 2) // two live dropout layers
+	c := net.CompileBatch(16)                  // one chunk for the whole batch
+	x := tensor.NewMatrix(6, 4)
+	row := []float64{0.4, -0.7, 0.2, 0.9}
+	for i := 0; i < x.Rows; i++ {
+		copy(x.Row(i), row)
+	}
+	mean, std := c.PredictMCBatch(x, 9, nil, nil)
+	for i := 1; i < x.Rows; i++ {
+		for j := 0; j < 2; j++ {
+			if mean.At(i, j) != mean.At(0, j) || std.At(i, j) != std.At(0, j) {
+				t.Fatalf("row %d stats differ from row 0: masks not shared across the chunk", i)
+			}
+		}
+	}
+	for j := 0; j < 2; j++ {
+		if std.At(0, j) <= 0 || math.IsNaN(std.At(0, j)) {
+			t.Fatalf("deep dropout net std[%d] = %g, want > 0", j, std.At(0, j))
+		}
+	}
+}
+
+// TestCompiledPredictMCBatchAgreesWithPredictor is the statistical check
+// that pass-stacked evaluation estimates the same predictive distribution
+// as the per-pass suffix-replay Predictor on a deep multi-dropout net:
+// with many passes both means must agree within a few standard errors.
+func TestCompiledPredictMCBatchAgreesWithPredictor(t *testing.T) {
+	rng := xrand.New(36)
+	net := NewMLP(rng, Tanh, 0.2, 4, 24, 16, 1)
+	c := net.CompileBatch(8)
+	x := batchProbe(rng, 8, 4)
+	const passes = 400
+	mean, std := c.PredictMCBatch(x, passes, nil, nil)
+	p := net.NewPredictor()
+	refMean, refStd := p.PredictMCBatch(x, passes)
+	for i := 0; i < x.Rows; i++ {
+		// Standard error of each estimate is ~std/sqrt(passes); allow 6x
+		// the combined value so the test is deterministic-in-practice.
+		tol := 6 * (std.At(i, 0) + refStd.At(i, 0)) / math.Sqrt(passes)
+		if d := math.Abs(mean.At(i, 0) - refMean.At(i, 0)); d > tol {
+			t.Fatalf("row %d: pass-stacked mean %g vs per-pass mean %g (|d|=%g > tol %g)",
+				i, mean.At(i, 0), refMean.At(i, 0), d, tol)
+		}
+		if r := std.At(i, 0) / refStd.At(i, 0); r < 0.5 || r > 2 {
+			t.Fatalf("row %d: pass-stacked std %g vs per-pass std %g disagree beyond 2x",
+				i, std.At(i, 0), refStd.At(i, 0))
+		}
+	}
+}
+
+// TestCompiledBatchConcurrent hammers the batch entry points from many
+// goroutines (run under -race): batch contexts are pooled per call and
+// must not interfere.
+func TestCompiledBatchConcurrent(t *testing.T) {
+	rng := xrand.New(37)
+	net := NewMLP(rng, Tanh, 0.1, 4, 16, 8, 2)
+	c := net.CompileBatch(4)
+	x := batchProbe(rng, 10, 4)
+	want := c.PredictBatch(x, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := tensor.NewMatrix(10, 2)
+			mean := tensor.NewMatrix(10, 2)
+			std := tensor.NewMatrix(10, 2)
+			for i := 0; i < 100; i++ {
+				c.PredictBatch(x, dst)
+				if !tensor.Equal(dst, want, 0) {
+					panic("concurrent compiled PredictBatch returned wrong values")
+				}
+				c.PredictMCBatch(x, 5, mean, std)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -392,6 +392,24 @@ func (s *Scaler) Transform(x *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
+// TransformInto standardizes x into dst (reshaped to x's shape; must be
+// non-nil) and returns dst. dst may alias x for in-place work. The
+// allocation-free form of Transform used by pooled serving paths.
+func (s *Scaler) TransformInto(dst, x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != len(s.Mean) {
+		panic("nn: scaler dimension mismatch")
+	}
+	dst.Reshape(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		out := dst.Row(i)
+		for j := range src {
+			out[j] = (src[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return dst
+}
+
 // TransformVec standardizes a single feature vector.
 func (s *Scaler) TransformVec(x []float64) []float64 {
 	return s.TransformVecInto(make([]float64, len(x)), x)

@@ -169,10 +169,16 @@ func (c *Coalescer) Query(x []float64) (Result, error) {
 	b := c.cur
 	leader := false
 	if b == nil {
-		if c.active.Load() == 1 {
-			// Nobody else is in flight, so nobody can join a gather:
-			// dispatch solo, immediately — sparse traffic is never taxed
-			// with a wait.
+		if c.active.Load() == 1 && !c.denseLocked() {
+			// Nobody else is in flight AND the arrival-rate estimate says
+			// no peer is imminent: dispatch solo, immediately — sparse
+			// traffic is never taxed with a wait. Under dense traffic the
+			// instantaneous concurrency is an unreliable signal (on few
+			// cores a fast backend drains every caller before the next is
+			// scheduled, so active hovers at 1 at hundreds of kQPS); the
+			// EWMA sees through that, and the gather path below costs a
+			// misclassified lone caller only a few yields before its
+			// stall/all-joined triggers fire.
 			b = c.lease()
 			b.xs.AppendRow(x)
 			b.n = 1
@@ -280,6 +286,15 @@ func (c *Coalescer) lead(b *batch) {
 		}
 		c.mu.Unlock()
 	}
+}
+
+// denseLocked reports whether the arrival-interval estimate classifies
+// the stream as dense: another query is expected within a small fraction
+// of the gather budget, so leading a batch is worth a short wait even
+// when no peer is observably in flight right now. Cold starts (no
+// estimate yet) read as sparse. Callers hold c.mu.
+func (c *Coalescer) denseLocked() bool {
+	return c.ewmaNs > 0 && time.Duration(4*c.ewmaNs) <= c.cfg.MaxDelay
 }
 
 // adaptiveDeadlineLocked is the EWMA-tuned gather deadline: the

@@ -120,6 +120,28 @@ func TestCoalescerLoneQueryNoWait(t *testing.T) {
 	}
 }
 
+// TestCoalescerDenseClassification pins the sparse/dense cutoff the solo
+// bypass consults: cold starts and slow arrival streams read as sparse
+// (dispatch solo, no wait); arrival intervals well inside the gather
+// budget read as dense (lead a gather even when active == 1, so
+// invisible concurrency on few cores still coalesces).
+func TestCoalescerDenseClassification(t *testing.T) {
+	c := NewCoalescer(newFakeBackend(), Config{MaxDelay: 200 * time.Microsecond})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.denseLocked() {
+		t.Fatal("cold start classified dense; first queries must bypass solo")
+	}
+	c.ewmaNs = float64(5 * time.Microsecond) // 4x estimate well under MaxDelay
+	if !c.denseLocked() {
+		t.Fatal("5µs arrival interval classified sparse under a 200µs budget")
+	}
+	c.ewmaNs = float64(time.Millisecond) // even one peer would outwait the budget
+	if c.denseLocked() {
+		t.Fatal("1ms arrival interval classified dense under a 200µs budget")
+	}
+}
+
 // TestCoalescerSizeTrigger checks a full batch dispatches without
 // waiting out any deadline: concurrent queries against a blocked-forming
 // batch complete promptly even with an hour-long MaxDelay.
@@ -376,6 +398,113 @@ func TestCoalescerAgainstWrapper(t *testing.T) {
 	if got := c.Stats().Queries; got != 400 {
 		t.Fatalf("stats counted %d queries, want 400", got)
 	}
+}
+
+// TestCoalescerBatchWiderThanCompiledWidth is the regression test for
+// micro-batches exceeding the surrogate's compiled batch width: the
+// backend must split them across fused chunks (never degrade to
+// per-query fallback) and every caller must still receive its own exact
+// answer. The surrogate is deterministic (no dropout), so each result can
+// be checked against a direct single-point prediction.
+func TestCoalescerBatchWiderThanCompiledWidth(t *testing.T) {
+	rng := xrand.New(0xc0a3)
+	oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0]*x[0] - x[1]}, nil
+	}}
+	sur := core.NewNNSurrogate(2, 1, []int{16}, 0, rng)
+	sur.Epochs = 40
+	sur.MCPasses = 4
+	sur.MaxBatch = 8 // compiled width far below the coalescer's MaxBatch
+	w := core.NewWrapper(oracle, sur, core.WrapperConfig{MinTrainSamples: 10, UQThreshold: 100})
+	design := tensor.NewMatrix(40, 2)
+	for i := 0; i < design.Rows; i++ {
+		design.Set(i, 0, rng.Range(-1, 1))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		t.Fatal(err)
+	}
+	rec := &widthRecordingBackend{
+		inner:    w,
+		block:    make(chan struct{}),
+		sawFirst: make(chan struct{}),
+	}
+	c := NewCoalescer(rec, Config{MaxBatch: 64, StallSpins: 512, MaxDelay: 50 * time.Millisecond})
+	defer c.Close()
+
+	// A blocker query holds the first batch in flight, so the following 16
+	// queries all pile into one forming micro-batch — twice the compiled
+	// width — before the leader dispatches it.
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query([]float64{0.1, 0.2})
+		blockerDone <- err
+	}()
+	<-rec.sawFirst
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			crng := xrand.New(seed)
+			x := []float64{crng.Range(-1, 1), crng.Range(-1, 1)}
+			r, err := c.Query(x)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r.Src != core.FromSurrogate {
+				t.Error("query fell back to simulation under a wide-open UQ gate")
+				return
+			}
+			want := sur.Predict(x)
+			if math.Abs(r.Y[0]-want[0]) > 1e-12 {
+				t.Errorf("coalesced answer %g differs from direct prediction %g", r.Y[0], want[0])
+			}
+		}(uint64(3000 + g))
+	}
+	wg.Wait()
+	close(rec.block)
+	if err := <-blockerDone; err != nil {
+		t.Fatal(err)
+	}
+	// The dispatches must actually have exceeded the compiled width, or
+	// this test proved nothing about chunk splitting.
+	if mx := rec.maxRows.Load(); mx <= 8 {
+		t.Fatalf("widest dispatched batch was %d rows; need > 8 to exercise the chunked path", mx)
+	}
+	if got := c.Stats().Queries; got != 17 {
+		t.Fatalf("stats counted %d queries, want 17", got)
+	}
+}
+
+// widthRecordingBackend forwards to an inner Backend, recording the
+// widest batch it was asked to serve. The first batch it receives parks
+// on the block channel (after signalling sawFirst), holding its caller in
+// flight so later queries must gather instead of dispatching solo.
+type widthRecordingBackend struct {
+	inner    Backend
+	maxRows  atomic.Int64
+	first    atomic.Bool
+	block    chan struct{}
+	sawFirst chan struct{}
+}
+
+func (b *widthRecordingBackend) Dims() (int, int) { return b.inner.Dims() }
+
+func (b *widthRecordingBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) {
+	for {
+		old := b.maxRows.Load()
+		if int64(xs.Rows) <= old || b.maxRows.CompareAndSwap(old, int64(xs.Rows)) {
+			break
+		}
+	}
+	if b.first.CompareAndSwap(false, true) {
+		close(b.sawFirst)
+		<-b.block
+	}
+	return b.inner.QueryBatch(xs)
 }
 
 // TestCoalescerSlowOracleCoalesces drives a wrapper whose every query

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestMatMulBiasIntoMatchesComposition checks the fused bias-seeded
+// matmul against MatMul followed by an explicit bias broadcast, across
+// shapes that exercise the 4-wide panel kernel remainders.
+func TestMatMulBiasIntoMatchesComposition(t *testing.T) {
+	rng := xrand.New(41)
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 5, 2}, {8, 4, 7}, {13, 9, 6}} {
+		n, k, p := shape[0], shape[1], shape[2]
+		a := NewMatrix(n, k)
+		b := NewMatrix(k, p)
+		bias := make([]float64, p)
+		for i := range a.Data {
+			a.Data[i] = rng.Range(-1, 1)
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.Range(-1, 1)
+		}
+		for i := range bias {
+			bias[i] = rng.Range(-1, 1)
+		}
+		want := MatMul(a, b)
+		for i := 0; i < n; i++ {
+			row := want.Row(i)
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		got := MatMulBiasInto(NewMatrix(n, p), a, b, bias)
+		if !Equal(got, want, 1e-13) {
+			t.Fatalf("MatMulBiasInto (%dx%d)*(%dx%d) differs from matmul+bias", n, k, k, p)
+		}
+	}
+}
+
+// TestMatMulBiasIntoParallelMatchesSerial forces the fan-out path and
+// checks it against the inline kernel.
+func TestMatMulBiasIntoParallelMatchesSerial(t *testing.T) {
+	oldW, oldT := ParallelWorkers, ParallelFlopThreshold
+	defer func() { ParallelWorkers, ParallelFlopThreshold = oldW, oldT }()
+	rng := xrand.New(42)
+	a := NewMatrix(24, 10)
+	b := NewMatrix(10, 6)
+	bias := make([]float64, 6)
+	for i := range a.Data {
+		a.Data[i] = rng.Range(-1, 1)
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Range(-1, 1)
+	}
+	for i := range bias {
+		bias[i] = rng.Range(-1, 1)
+	}
+	ParallelWorkers, ParallelFlopThreshold = 1, 1 << 60
+	serial := MatMulBiasInto(NewMatrix(24, 6), a, b, bias)
+	ParallelWorkers, ParallelFlopThreshold = 4, 1
+	par := MatMulBiasInto(NewMatrix(24, 6), a, b, bias)
+	if !Equal(par, serial, 0) {
+		t.Fatal("parallel MatMulBiasInto differs from serial")
+	}
+}
+
+// TestScaleColumnsBlocks checks per-block column scaling, including the
+// in-place aliasing contract and agreement with per-block ScaleColumns.
+func TestScaleColumnsBlocks(t *testing.T) {
+	rng := xrand.New(43)
+	const block, blocks, cols = 3, 4, 5
+	x := NewMatrix(block*blocks, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.Range(-1, 1)
+	}
+	scales := make([]float64, blocks*cols)
+	for i := range scales {
+		scales[i] = rng.Range(0, 2)
+	}
+	want := NewMatrix(x.Rows, cols)
+	for t2 := 0; t2 < blocks; t2++ {
+		ScaleColumns(want.SliceRows(t2*block, (t2+1)*block),
+			x.SliceRows(t2*block, (t2+1)*block), scales[t2*cols:(t2+1)*cols])
+	}
+	got := ScaleColumnsBlocks(NewMatrix(x.Rows, cols), x, scales, block)
+	if !Equal(got, want, 0) {
+		t.Fatal("ScaleColumnsBlocks differs from per-block ScaleColumns")
+	}
+	inPlace := x.Clone()
+	ScaleColumnsBlocks(inPlace, inPlace, scales, block)
+	if !Equal(inPlace, want, 0) {
+		t.Fatal("in-place ScaleColumnsBlocks differs from out-of-place")
+	}
+}
+
+// TestRepeatRowsInto checks vertical tiling and dst reuse.
+func TestRepeatRowsInto(t *testing.T) {
+	src := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := RepeatRowsInto(nil, src, 3)
+	if dst.Rows != 6 || dst.Cols != 2 {
+		t.Fatalf("tiled shape %dx%d, want 6x2", dst.Rows, dst.Cols)
+	}
+	for t2 := 0; t2 < 3; t2++ {
+		for i := 0; i < src.Rows; i++ {
+			for j := 0; j < src.Cols; j++ {
+				if dst.At(t2*src.Rows+i, j) != src.At(i, j) {
+					t.Fatalf("tile %d row %d col %d mismatch", t2, i, j)
+				}
+			}
+		}
+	}
+	// Reuse must reshape (and not allocate once capacity suffices).
+	reused := RepeatRowsInto(dst, src, 2)
+	if reused.Rows != 4 || reused != dst {
+		t.Fatal("RepeatRowsInto did not reuse dst")
+	}
+}

@@ -157,6 +157,56 @@ func ScaleColumns(dst, x *Matrix, scale []float64) *Matrix {
 	return dst
 }
 
+// ScaleColumnsBlocks scales x block-wise into dst and returns dst: the
+// rows are grouped into consecutive blocks of block rows each, and every
+// row of block t has its columns scaled by scales[t*Cols:(t+1)*Cols].
+// x.Rows must be a multiple of block and len(scales) must cover one mask
+// row per block. dst may alias x for in-place scaling; a nil dst
+// allocates. This is the pass-stacked MC-dropout kernel: each pass's
+// block of the tall panel carries that pass's column-shared mask.
+func ScaleColumnsBlocks(dst, x *Matrix, scales []float64, block int) *Matrix {
+	if block <= 0 || x.Rows%block != 0 {
+		panic(fmt.Sprintf("tensor: block of %d rows does not tile %d rows", block, x.Rows))
+	}
+	blocks := x.Rows / block
+	if len(scales) != blocks*x.Cols {
+		panic(fmt.Sprintf("tensor: scales of len %d for %d blocks of %d cols", len(scales), blocks, x.Cols))
+	}
+	dst = ensure(dst, x.Rows, x.Cols)
+	cols := x.Cols
+	for t := 0; t < blocks; t++ {
+		mask := scales[t*cols : (t+1)*cols]
+		for i := t * block; i < (t+1)*block; i++ {
+			src := x.Data[i*cols : (i+1)*cols]
+			out := dst.Data[i*cols : (i+1)*cols]
+			for j, v := range src {
+				out[j] = v * mask[j]
+			}
+		}
+	}
+	return dst
+}
+
+// RepeatRowsInto tiles src vertically times times into dst, reshaping dst
+// to times*src.Rows x src.Cols, and returns dst. A nil dst allocates.
+// This assembles the tall panel pass-stacked MC evaluation runs all
+// passes through at once.
+func RepeatRowsInto(dst, src *Matrix, times int) *Matrix {
+	if times < 0 {
+		panic("tensor: negative repeat count")
+	}
+	if dst == nil {
+		dst = NewMatrix(times*src.Rows, src.Cols)
+	} else {
+		dst.Reshape(times*src.Rows, src.Cols)
+	}
+	n := src.Rows * src.Cols
+	for t := 0; t < times; t++ {
+		copy(dst.Data[t*n:(t+1)*n], src.Data)
+	}
+	return dst
+}
+
 // SliceRows returns a view of rows [lo,hi) sharing m's backing array.
 // Mutations through the view are visible in m and vice versa.
 func (m *Matrix) SliceRows(lo, hi int) *Matrix {
@@ -251,6 +301,53 @@ func MatMulInto(dst, a, b *Matrix) *Matrix {
 		matMulRange(dst, a, b, lo, hi)
 	})
 	return dst
+}
+
+// MatMulBiasInto stores a*b + bias into dst (bias broadcast over rows,
+// len(bias) == b.Cols) and returns dst. Each destination row is seeded
+// with the bias before the panel-axpy accumulation streams through — no
+// separate zeroing or bias pass — which makes it the batch analogue of
+// the fused single-query dense step: one sweep per output row. dst must
+// not alias a or b; shapes follow MatMulInto.
+func MatMulBiasInto(dst, a, b *Matrix, bias []float64) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if len(bias) != b.Cols {
+		panic(fmt.Sprintf("tensor: bias of len %d for %d-col product", len(bias), b.Cols))
+	}
+	dst = ensure(dst, a.Rows, b.Cols)
+	if !useParallel(a.Rows, a.Rows*a.Cols*b.Cols) {
+		matMulBiasRange(dst, a, b, bias, 0, a.Rows)
+		return dst
+	}
+	parallelRanges(a.Rows, func(lo, hi int) {
+		matMulBiasRange(dst, a, b, bias, lo, hi)
+	})
+	return dst
+}
+
+// matMulBiasRange computes rows [lo,hi) of out = a*b + bias with the same
+// ikj panel kernel as matMulRange, seeding each row with the bias instead
+// of zero.
+func matMulBiasRange(out, a, b *Matrix, bias []float64, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		outRow := out.Data[i*p : (i+1)*p]
+		copy(outRow, bias)
+		aRow := a.Data[i*n : (i+1)*n]
+		k := 0
+		for ; k+4 <= n; k += 4 {
+			axpyPanel4(aRow[k], aRow[k+1], aRow[k+2], aRow[k+3],
+				b.Data[k*p:(k+1)*p], b.Data[(k+1)*p:(k+2)*p],
+				b.Data[(k+2)*p:(k+3)*p], b.Data[(k+3)*p:(k+4)*p], outRow)
+		}
+		for ; k < n; k++ {
+			if aik := aRow[k]; aik != 0 {
+				axpy4(aik, b.Data[k*p:(k+1)*p], outRow)
+			}
+		}
+	}
 }
 
 // MatMulATBInto stores aᵀ*b into dst and returns dst, without ever

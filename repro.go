@@ -34,6 +34,16 @@
 //	h := repro.Serve(sw, repro.CoalescerConfig{})
 //	defer h.Close()
 //	res, err := h.Query(x) // concurrent callers coalesce automatically
+//
+// Batch-driving callers (simulation sweeps) reuse one result slice with
+// QueryBatchInto, which serves the whole batch through the surrogate's
+// compiled batch program at zero steady-state allocations; Retention
+// bounds the training window so refits stay O(window) on long-running
+// servers:
+//
+//	cfg.Retention = repro.Retention{Policy: repro.RetainWindow, MaxSamples: 4096}
+//	res := make([]repro.BatchResult, xs.Rows)
+//	for { err := w.QueryBatchInto(xs, res); ... } // 0 allocs/iteration
 package repro
 
 import (
@@ -53,6 +63,9 @@ type (
 	Surrogate = core.Surrogate
 	// BatchSurrogate amortizes one network pass over a query batch.
 	BatchSurrogate = core.BatchSurrogate
+	// BatchSurrogateInto additionally writes batched UQ predictions into
+	// caller-owned matrices (the allocation-free serving form).
+	BatchSurrogateInto = core.BatchSurrogateInto
 	// BatchResult is one row's answer from Wrapper.QueryBatch.
 	BatchResult = core.BatchResult
 	// NNSurrogate is the reference MC-dropout MLP surrogate.
@@ -77,6 +90,11 @@ type (
 	SurrogateFactory = core.SurrogateFactory
 	// ShardStatus is one shard's serving-staleness report.
 	ShardStatus = core.ShardStatus
+	// Retention bounds the retained training window so refits stay
+	// O(window) on long-running servers (zero value retains everything).
+	Retention = core.Retention
+	// RetentionPolicy selects how samples beyond the window are retired.
+	RetentionPolicy = core.RetentionPolicy
 	// Coalescer is the adaptive micro-batch serving front-end: concurrent
 	// Query calls gather into fused batches for a Backend's QueryBatch.
 	Coalescer = serve.Coalescer
@@ -110,6 +128,16 @@ type (
 const (
 	FromSimulation = core.FromSimulation
 	FromSurrogate  = core.FromSurrogate
+)
+
+// Training-set retention policies.
+const (
+	// RetainAll keeps every sample (the unbounded default).
+	RetainAll = core.RetainAll
+	// RetainWindow keeps the most recent MaxSamples samples.
+	RetainWindow = core.RetainWindow
+	// RetainReservoir keeps a uniform sample of the entire history.
+	RetainReservoir = core.RetainReservoir
 )
 
 // The paper's taxonomy (§I).

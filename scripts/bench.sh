@@ -15,11 +15,17 @@ if [[ -z "$out" ]]; then
   out="BENCH_${n}.json"
 fi
 
-benches='BenchmarkTrainEpoch$|BenchmarkDenseForwardBackward|BenchmarkQueryBatch$|BenchmarkQueryLoop|BenchmarkQueryDuringRetrain|BenchmarkOracleFanout|BenchmarkCompiledForward|BenchmarkCoalescedQPS'
+benches='BenchmarkTrainEpoch$|BenchmarkDenseForwardBackward|BenchmarkQueryBatch$|BenchmarkQueryLoop|BenchmarkQueryDuringRetrain|BenchmarkOracleFanout|BenchmarkCompiledForward|BenchmarkCompiledBatch|BenchmarkDeepUQ|BenchmarkMatMulParallelSlope|BenchmarkCoalescedQPS'
 raw=$(go test -run=NONE -bench="$benches" -benchtime=1s -count=1 .)
 echo "$raw"
 
-echo "$raw" | awk -v out="$out" '
+# The machine shape is recorded alongside the numbers: the matmul fan-out
+# slope (BenchmarkMatMulParallelSlope) is only meaningful relative to the
+# core count it ran on, so snapshots from a 1-core container and a real
+# multi-core box are distinguishable.
+gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)}"
+
+echo "$raw" | awk -v out="$out" -v gomaxprocs="$gomaxprocs" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -40,6 +46,7 @@ echo "$raw" | awk -v out="$out" '
   }
   END {
     printf "{\n" > out
+    printf "  \"_meta\": {\"gomaxprocs\": %s},\n", gomaxprocs > out
     for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "") > out
     printf "}\n" > out
   }

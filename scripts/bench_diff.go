@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	go run ./scripts/bench_diff.go [-tol 15] [-dir .] [-require a,b] [old.json new.json]
+//	go run ./scripts/bench_diff.go [-tol 15] [-dir .] [-require a,b:allocs=0] [old.json new.json]
 //
 // With no positional arguments it discovers the two highest-numbered
 // BENCH_<n>.json files in -dir and compares them in order. -require
 // lists benchmark-name substrings that must each match at least one
 // entry of the NEW snapshot — the gate for "this PR's headline
 // benchmarks are actually recorded", so a perf claim cannot silently
-// drop out of the trajectory.
+// drop out of the trajectory. A requirement may carry an allocs
+// constraint, "substr:allocs=N": every matching entry must then report
+// exactly N allocs/op, which is how zero-allocation contracts (the
+// compiled-batch serving path) are enforced in CI rather than just
+// claimed in a commit message. Entries whose name starts with "_"
+// (snapshot metadata such as _meta.gomaxprocs) are ignored everywhere.
 package main
 
 import (
@@ -106,6 +111,9 @@ func main() {
 
 	names := make([]string, 0, len(newSnap))
 	for name := range newSnap {
+		if strings.HasPrefix(name, "_") {
+			continue // snapshot metadata, not a benchmark
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -132,30 +140,62 @@ func main() {
 			status, name, od.NsPerOp, nw.NsPerOp, deltaPct)
 	}
 	for name := range oldSnap {
+		if strings.HasPrefix(name, "_") {
+			continue
+		}
 		if _, ok := newSnap[name]; !ok {
 			fmt.Printf("  GONE  %s\n", name)
 		}
 	}
 	if *require != "" {
-		missing := 0
+		failed := 0
 		for _, want := range strings.Split(*require, ",") {
 			want = strings.TrimSpace(want)
 			if want == "" {
 				continue
 			}
+			// "substr" or "substr:allocs=N".
+			substr, wantAllocs := want, -1.0
+			if cut := strings.Index(want, ":"); cut >= 0 {
+				substr = want[:cut]
+				cons := want[cut+1:]
+				if !strings.HasPrefix(cons, "allocs=") {
+					fmt.Fprintf(os.Stderr, "bench_diff: unknown constraint %q in requirement %q\n", cons, want)
+					failed++
+					continue
+				}
+				v, err := strconv.ParseFloat(strings.TrimPrefix(cons, "allocs="), 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bench_diff: bad allocs constraint in %q: %v\n", want, err)
+					failed++
+					continue
+				}
+				wantAllocs = v
+			}
 			found := false
-			for name := range newSnap {
-				if strings.Contains(name, want) {
-					found = true
-					break
+			for name, entry := range newSnap {
+				if strings.HasPrefix(name, "_") || !strings.Contains(name, substr) {
+					continue
+				}
+				found = true
+				if wantAllocs < 0 {
+					continue
+				}
+				if entry.AllocsPerOp == nil {
+					fmt.Fprintf(os.Stderr, "bench_diff: %s matches %q but reports no allocs/op\n", name, want)
+					failed++
+				} else if *entry.AllocsPerOp != wantAllocs {
+					fmt.Fprintf(os.Stderr, "bench_diff: %s reports %g allocs/op, requirement %q wants %g\n",
+						name, *entry.AllocsPerOp, want, wantAllocs)
+					failed++
 				}
 			}
 			if !found {
 				fmt.Fprintf(os.Stderr, "bench_diff: required benchmark %q missing from %s\n", want, newPath)
-				missing++
+				failed++
 			}
 		}
-		if missing > 0 {
+		if failed > 0 {
 			os.Exit(1)
 		}
 	}
