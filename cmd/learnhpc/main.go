@@ -58,9 +58,10 @@ func main() {
 		{"e10a", "four parallel computation models (§III-A)", wrap(experiments.E10ParallelModels)},
 		{"e10b", "heterogeneous task scheduling (§III-E)", wrap(experiments.E10Scheduler)},
 		{"e9", "tissue transport short-circuit (§II-B)", wrap(experiments.E9TissueShortCircuit)},
+		{"e11", "multi-tenant serving fleet: potential+tissue+epi behind one dispatch plane", wrap(experiments.E11FleetServing)},
 	}
-	// Keep display order e1..e10.
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10a", "e10b"}
+	// Keep display order e1..e11.
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10a", "e10b", "e11"}
 	byName := map[string]runner{}
 	for _, r := range runners {
 		byName[r.name] = r
@@ -125,6 +126,7 @@ experiments:
   e8    learned solvent-kernel speedup (paper §II-C2)
   e9    tissue advection-diffusion short-circuit (paper §I, §II-B)
   e10   parallel computation models + heterogeneous scheduling (§III-A, §III-E)
+  e11   multi-tenant serving fleet: one dispatch plane for every surrogate (§I)
 `)
 	flag.PrintDefaults()
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/nn"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -540,6 +541,65 @@ func BenchmarkOracleFanout(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N*32)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkFleetQPS measures the multi-tenant dispatch plane: N tenants
+// (each a pretrained UQ-gated wrapper) behind one fleet, M concurrent
+// clients per tenant issuing independent single-point queries through
+// the zero-alloc QueryInto path. The acceptance bar is that 4 tenants
+// sharing the machinery sustain ≥80% of the single-tenant coalesced
+// per-query throughput (allocs/op must read 0: tenant lookup, admission,
+// pooled batch dispatch and latency recording are all allocation-free in
+// steady state).
+func BenchmarkFleetQPS(b *testing.B) {
+	const clientsPerTenant = 16
+	for _, tenants := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			fl := fleet.New(fleet.Config{Coalescer: serve.Config{MaxBatch: 64}})
+			defer fl.Close()
+			names := make([]string, tenants)
+			for t := 0; t < tenants; t++ {
+				names[t] = fmt.Sprintf("t%d", t)
+				if err := fl.Register(names[t], benchWrapper(b)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clients := clientsPerTenant * tenants
+			per := b.N / clients
+			if per == 0 {
+				per = 1
+			}
+			b.SetParallelism(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for t := 0; t < tenants; t++ {
+				for c := 0; c < clientsPerTenant; c++ {
+					wg.Add(1)
+					go func(name string, seed uint64) {
+						defer wg.Done()
+						rng := xrand.New(seed)
+						x := make([]float64, 2)
+						y := make([]float64, 1)
+						std := make([]float64, 1)
+						for i := 0; i < per; i++ {
+							x[0] = rng.Range(-2, 2)
+							x[1] = rng.Range(-1, 1)
+							if _, err := fl.QueryInto(name, x, y, std); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(names[t], uint64(0xf1e0+31*t+c))
+				}
+			}
+			wg.Wait()
+			b.StopTimer()
+			qps := float64(per*clients) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+			b.ReportMetric(qps/float64(tenants), "queries/s/tenant")
 		})
 	}
 }

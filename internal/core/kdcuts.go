@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// KDCutsFromSamples returns ascending cut points along dimension dim that
+// split the sample distribution into shards equal-mass buckets: the
+// (i/shards)-quantiles of column dim for i = 1..shards-1, ready to feed a
+// KDRouter. Static, hand-placed kd cuts balance load only when the query
+// distribution is known up front; deriving them from the accumulated
+// training distribution auto-tunes the partition to where traffic
+// actually lands (the ROADMAP's shard-rebalancing item).
+//
+// The result is deterministic in the sample multiset (sorting is the only
+// operation). Duplicate quantile values are collapsed so the cuts are
+// strictly increasing — heavily repeated values can therefore yield fewer
+// than shards-1 cuts (and a KDRouter with fewer shards) rather than
+// unroutable empty buckets. Fewer than 2 shards, or an empty sample set,
+// yields nil (a single-shard router needs no cuts).
+func KDCutsFromSamples(samples *tensor.Matrix, dim, shards int) []float64 {
+	if shards < 2 || samples.Rows == 0 {
+		return nil
+	}
+	n := samples.Rows
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		col[i] = samples.At(i, dim)
+	}
+	sort.Float64s(col)
+	cuts := make([]float64, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		c := col[i*n/shards]
+		// Strictly increasing, and strictly above the column minimum: a
+		// cut at or below the minimum can only produce an empty bucket
+		// (KDRouter sends x < cut left, and nothing sits below the
+		// minimum), so repeated low quantiles are collapsed away.
+		if c > col[0] && (len(cuts) == 0 || c > cuts[len(cuts)-1]) {
+			cuts = append(cuts, c)
+		}
+	}
+	if len(cuts) == 0 {
+		return nil
+	}
+	return cuts
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// TestKDCutsDeterminismAndBalance pins the auto-tuned kd partition: the
+// cuts are a pure function of the sample multiset (identical across
+// calls and across row orderings) and routing the very distribution they
+// were fit on through a KDRouter lands each shard within a small
+// tolerance of the equal-mass share — including for a skewed,
+// non-uniform distribution, which is the case static evenly spaced cuts
+// get badly wrong.
+func TestKDCutsDeterminismAndBalance(t *testing.T) {
+	rng := xrand.New(0x4dc)
+	const n, shards, dim = 4000, 5, 1
+	samples := tensor.NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		samples.Set(i, 0, rng.Range(-1, 1))
+		// Skewed: squaring concentrates mass near 0.
+		v := rng.Range(0, 1)
+		samples.Set(i, dim, v*v)
+		samples.Set(i, 2, rng.Range(-1, 1))
+	}
+
+	cuts := KDCutsFromSamples(samples, dim, shards)
+	if len(cuts) != shards-1 {
+		t.Fatalf("got %d cuts for %d shards, want %d", len(cuts), shards, shards-1)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+
+	// Determinism: same multiset, different row order, same cuts.
+	perm := samples.Clone()
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		for c := 0; c < perm.Cols; c++ {
+			vi, vj := perm.At(i, c), perm.At(j, c)
+			perm.Set(i, c, vj)
+			perm.Set(j, c, vi)
+		}
+	}
+	again := KDCutsFromSamples(perm, dim, shards)
+	if len(again) != len(cuts) {
+		t.Fatalf("permuted sample set changed cut count: %v vs %v", again, cuts)
+	}
+	for i := range cuts {
+		if cuts[i] != again[i] {
+			t.Fatalf("cuts not deterministic under row permutation: %v vs %v", cuts, again)
+		}
+	}
+
+	// Balance: route the fitted distribution, expect ~n/shards per shard.
+	router := KDRouter{Dim: dim, Cuts: cuts}
+	if router.NumShards() != shards {
+		t.Fatalf("router has %d shards, want %d", router.NumShards(), shards)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < n; i++ {
+		counts[router.Route(samples.Row(i))]++
+	}
+	want := float64(n) / float64(shards)
+	for si, c := range counts {
+		if math.Abs(float64(c)-want) > 0.02*float64(n) {
+			t.Fatalf("shard %d holds %d of %d samples (want ~%.0f): %v", si, c, n, want, counts)
+		}
+	}
+}
+
+// TestKDCutsEdgeCases covers the degenerate inputs: empty samples, a
+// single shard, and an all-equal column (where any cut would strand an
+// empty shard, so none is produced).
+func TestKDCutsEdgeCases(t *testing.T) {
+	empty := tensor.NewMatrix(0, 2)
+	if cuts := KDCutsFromSamples(empty, 0, 4); cuts != nil {
+		t.Fatalf("empty samples produced cuts %v", cuts)
+	}
+	one := tensor.NewMatrix(10, 2)
+	if cuts := KDCutsFromSamples(one, 0, 1); cuts != nil {
+		t.Fatalf("single shard produced cuts %v", cuts)
+	}
+	flat := tensor.NewMatrix(100, 2)
+	flat.Fill(3.5)
+	if cuts := KDCutsFromSamples(flat, 1, 4); cuts != nil {
+		t.Fatalf("all-equal column produced cuts %v (would strand empty shards)", cuts)
+	}
+	// Two distinct values still yield a usable (possibly shorter) cut list.
+	bi := tensor.NewMatrix(100, 1)
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			bi.Set(i, 0, 1)
+		} else {
+			bi.Set(i, 0, 2)
+		}
+	}
+	cuts := KDCutsFromSamples(bi, 0, 4)
+	if len(cuts) != 1 || cuts[0] != 2 {
+		t.Fatalf("bimodal column cuts = %v, want the single separating cut [2]", cuts)
+	}
+}

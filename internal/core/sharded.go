@@ -91,6 +91,53 @@ func (r KDRouter) Route(x []float64) int {
 	return lo
 }
 
+// BatchPredictor is an optional Surrogate capability: one deterministic
+// point-prediction pass amortized over a whole batch (NNSurrogate serves
+// it from the compiled batch program). The drift tracker's bulk paths —
+// Ingest residuals and the publish-time baseline — prefer it over
+// per-row Predict calls.
+type BatchPredictor interface {
+	// PredictBatch returns per-row point predictions (original units)
+	// for every row of x. The returned matrix is caller-owned.
+	PredictBatch(x *tensor.Matrix) *tensor.Matrix
+}
+
+// batchResiduals computes per-row mean-absolute residuals of sur's
+// predictions for the xs rows indexed by idx (nil idx = all rows)
+// against their ys counterparts, through one batched pass when sur
+// supports it.
+func batchResiduals(sur Surrogate, xs, ys *tensor.Matrix, idx []int) []float64 {
+	n := len(idx)
+	if idx == nil {
+		n = xs.Rows
+	}
+	row := func(k int) int {
+		if idx == nil {
+			return k
+		}
+		return idx[k]
+	}
+	resids := make([]float64, n)
+	if bp, ok := sur.(BatchPredictor); ok {
+		var sub *tensor.Matrix
+		if idx == nil {
+			sub = xs
+		} else {
+			sub = tensor.GatherRowsInto(nil, xs, idx)
+		}
+		pred := bp.PredictBatch(sub)
+		for k := 0; k < n; k++ {
+			resids[k] = meanAbsDiff(pred.Row(k), ys.Row(row(k)))
+		}
+		return resids
+	}
+	for k := 0; k < n; k++ {
+		i := row(k)
+		resids[k] = meanAbsDiff(sur.Predict(xs.Row(i)), ys.Row(i))
+	}
+	return resids
+}
+
 // SurrogateFactory builds fresh, untrained surrogates. Every refit
 // generation trains a brand-new instance, so a model that is serving is
 // never mutated; factories must be safe to call from concurrent background
@@ -140,7 +187,24 @@ type ShardedConfig struct {
 	// on long-running servers. The zero value retains everything. A
 	// bounded window is raised to at least MinTrainSamples.
 	Retention Retention
+	// DriftFactor, when positive, enables drift-triggered refits: each
+	// shard tracks an EWMA of its ingested samples' residuals (mean
+	// absolute error of the published model's prediction against the
+	// sample's true y), compared against the model's own in-sample
+	// training residual recorded at publish time. When the EWMA exceeds
+	// DriftFactor times that baseline, the shard is marked drifted —
+	// making a refit due on the next sample arrival and on every
+	// RefitStale / auto-refit tick — so the retrain schedule adapts to
+	// the oracle moving instead of waiting out RetrainEvery.
+	DriftFactor float64
+	// DriftAlpha is the residual-EWMA smoothing factor in (0, 1]
+	// (default 0.1).
+	DriftAlpha float64
 }
+
+// driftBaselineRows caps how many snapshot rows the publish-time
+// in-sample residual averages over.
+const driftBaselineRows = 256
 
 // shard is one partition: its slice of the training set plus the
 // double-buffered surrogate. active holds the currently published model;
@@ -159,6 +223,19 @@ type shard struct {
 	refitting     bool
 	nextSnapGen   int // id assigned to the next training snapshot
 	publishedGen  int // snapshot id of the published model; -1 = none
+
+	// Drift tracking (ShardedConfig.DriftFactor): residBase is the
+	// published model's in-sample training residual (the publish-time
+	// baseline); residEWMA smooths fresh ingested residuals against it.
+	// The EWMA exceeding DriftFactor × residBase marks the shard drifted,
+	// recording in driftGen the snapshot generation that will absorb the
+	// samples that raised it — so publishing a model trained on an OLDER
+	// snapshot (gen < driftGen) cannot swallow the flag while the
+	// drift-raising samples sit in no snapshot at all.
+	residBase float64
+	residEWMA float64
+	drifted   bool
+	driftGen  int
 }
 
 // snapshotLocked clones the shard's training set as snapshot generation
@@ -173,7 +250,7 @@ func (s *shard) snapshotLocked() (snapX, snapY *tensor.Matrix, gen, consumed int
 
 // publishIfNewer swaps sur in as the served model unless a model from a
 // newer snapshot has already been published.
-func (s *shard) publishIfNewer(sur Surrogate, gen int) bool {
+func (s *shard) publishIfNewer(sur Surrogate, gen int, residBase float64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if gen <= s.publishedGen {
@@ -181,7 +258,78 @@ func (s *shard) publishIfNewer(sur Surrogate, gen int) bool {
 	}
 	s.publishedGen = gen
 	s.active.Store(&sur)
+	// The new model's in-sample fit error is the drift baseline its
+	// serving life is judged against. The drift flag is cleared only if
+	// this model's snapshot covers the samples that raised it; drift
+	// tripped after the snapshot was taken survives the publish, so the
+	// refit chain retrains once more instead of serving a model that
+	// never saw the drifted regime.
+	s.residBase, s.residEWMA = residBase, residBase
+	if gen >= s.driftGen {
+		s.drifted = false
+	}
 	return true
+}
+
+// observeResidualLocked folds one ingested sample's residual against the
+// published model into the shard's drift EWMA and marks the shard
+// drifted when it exceeds factor × the publish-time baseline. Callers
+// hold s.mu.
+func (s *shard) observeResidualLocked(resid, factor, alpha float64) {
+	s.residEWMA += alpha * (resid - s.residEWMA)
+	if s.residEWMA > factor*flooredBase(s.residBase) {
+		s.drifted = true
+		// The sample that (re-)raised the flag will be absorbed by the
+		// NEXT snapshot; only a model trained on that generation (or
+		// newer) may clear it — so drift tripped by samples a refit's
+		// already-taken snapshot missed survives that refit's publish.
+		s.driftGen = s.nextSnapGen
+	}
+}
+
+// flooredBase floors the drift baseline so a perfectly fit
+// (zero-residual) model still tolerates noise at the float rounding
+// scale before tripping — and so the reported drift ratio of such a
+// model is finite and consistent with the trip check.
+func flooredBase(base float64) float64 {
+	if base < 1e-12 {
+		return 1e-12
+	}
+	return base
+}
+
+// driftBaselineFor evaluates driftBaseline only when drift tracking is
+// configured; disabled tracking skips the snapshot sweep entirely.
+func (w *ShardedWrapper) driftBaselineFor(sur Surrogate, snapX, snapY *tensor.Matrix) float64 {
+	if w.cfg.DriftFactor <= 0 {
+		return 0
+	}
+	return driftBaseline(sur, snapX, snapY)
+}
+
+// driftBaseline is the published model's in-sample residual: the mean
+// absolute prediction error over (up to driftBaselineRows evenly spaced
+// rows of) its own training snapshot, batched when the surrogate
+// supports it. Computed once per publish, off the serving path, only
+// when drift tracking is enabled.
+func driftBaseline(sur Surrogate, snapX, snapY *tensor.Matrix) float64 {
+	n := snapX.Rows
+	if n == 0 {
+		return 0
+	}
+	var idx []int // nil = every row
+	if n > driftBaselineRows {
+		step := (n + driftBaselineRows - 1) / driftBaselineRows
+		for i := 0; i < n; i += step {
+			idx = append(idx, i)
+		}
+	}
+	resids := batchResiduals(sur, snapX, snapY, idx)
+	sum := 0.0
+	for _, r := range resids {
+		sum += r
+	}
+	return sum / float64(len(resids))
 }
 
 // ShardedWrapper is the stall-free MLaroundHPC runtime. It routes every
@@ -240,6 +388,9 @@ func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfi
 	}
 	if cfg.OracleWorkers <= 0 {
 		cfg.OracleWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DriftAlpha <= 0 || cfg.DriftAlpha > 1 {
+		cfg.DriftAlpha = 0.1
 	}
 	cfg.Retention = clampRetention(cfg.Retention, cfg.MinTrainSamples)
 	in, out := oracle.Dims()
@@ -520,6 +671,12 @@ func (w *ShardedWrapper) refitDueLocked(s *shard) (snapX, snapY *tensor.Matrix, 
 	} else if w.cfg.RetrainEvery > 0 {
 		due = s.newSinceTrain >= w.cfg.RetrainEvery
 	}
+	// A drifted shard owes a refit regardless of the RetrainEvery
+	// schedule (including RetrainEvery == 0, where drift is the only
+	// retrain trigger): the published model no longer matches the data.
+	if !due && s.drifted {
+		due = true
+	}
 	if !due {
 		return nil, nil, 0, 0
 	}
@@ -548,7 +705,7 @@ func (w *ShardedWrapper) refit(s *shard, snapX, snapY *tensor.Matrix, gen, consu
 		return
 	}
 	w.record(func(l *Ledger) { l.RecordTraining(dt, snapX.Rows) })
-	s.publishIfNewer(sur, gen)
+	s.publishIfNewer(sur, gen, w.driftBaselineFor(sur, snapX, snapY))
 	// Samples may have piled past the retrain threshold while this fit
 	// ran; chain one follow-up so a busy shard cannot go stale.
 	s.mu.Lock()
@@ -592,17 +749,18 @@ func (w *ShardedWrapper) Refit() {
 }
 
 // RefitStale asynchronously retrains every shard that is stale: it has
-// accumulated samples no training snapshot has absorbed, or it has
-// reached MinTrainSamples without a published model (the same first-fit
-// gate the query path enforces). Fresh shards are left alone, so calling
-// it on a timer costs nothing when no new data arrived. It returns the
-// number of refits spawned; Wait observes their completion.
+// accumulated samples no training snapshot has absorbed, it has drifted
+// past the configured residual factor (see ShardedConfig.DriftFactor),
+// or it has reached MinTrainSamples without a published model (the same
+// first-fit gate the query path enforces). Fresh shards are left alone,
+// so calling it on a timer costs nothing when no new data arrived. It
+// returns the number of refits spawned; Wait observes their completion.
 func (w *ShardedWrapper) RefitStale() int {
 	return w.refitWhere(func(s *shard) bool {
 		if s.active.Load() == nil {
 			return s.xs.Rows >= w.cfg.MinTrainSamples
 		}
-		return s.newSinceTrain > 0
+		return s.newSinceTrain > 0 || s.drifted
 	})
 }
 
@@ -665,6 +823,14 @@ type ShardStatus struct {
 	Generation int
 	// Refitting reports whether a background refit is in flight.
 	Refitting bool
+	// Drifted reports whether the ingested-residual EWMA has exceeded
+	// DriftFactor times the post-publish baseline (always false with
+	// drift tracking disabled). A drifted shard owes a refit.
+	Drifted bool
+	// DriftRatio is the current residual EWMA over the post-publish
+	// baseline (0 until the baseline warms up) — how far the published
+	// model has slid against fresh data.
+	DriftRatio float64
 }
 
 // Status returns the per-shard staleness metrics.
@@ -672,13 +838,18 @@ func (w *ShardedWrapper) Status() []ShardStatus {
 	out := make([]ShardStatus, len(w.shards))
 	for i, s := range w.shards {
 		s.mu.Lock()
-		out[i] = ShardStatus{
+		st := ShardStatus{
 			Samples:    s.xs.Rows,
 			Stale:      s.newSinceTrain,
 			Generation: s.publishedGen,
 			Refitting:  s.refitting,
+			Drifted:    s.drifted,
+		}
+		if s.residEWMA > 0 {
+			st.DriftRatio = s.residEWMA / flooredBase(s.residBase)
 		}
 		s.mu.Unlock()
+		out[i] = st
 	}
 	return out
 }
@@ -702,6 +873,12 @@ func (w *ShardedWrapper) Wait() error {
 // path for corpora computed elsewhere. Ingested rows count toward shard
 // staleness (they are data no published model has seen) but never trigger
 // refits themselves; call TrainAll, Refit, or run StartAutoRefit.
+//
+// With ShardedConfig.DriftFactor set, each ingested sample's residual
+// against the shard's published model feeds the drift tracker: a stream
+// of fresh data the model no longer explains marks the shard drifted, so
+// the next RefitStale / auto-refit tick (or the next query-path sample)
+// retrains it without waiting out RetrainEvery.
 func (w *ShardedWrapper) Ingest(xs, ys *tensor.Matrix) error {
 	if xs.Rows != ys.Rows {
 		return fmt.Errorf("core: ingest rows mismatch %d vs %d", xs.Rows, ys.Rows)
@@ -709,14 +886,64 @@ func (w *ShardedWrapper) Ingest(xs, ys *tensor.Matrix) error {
 	if xs.Cols != w.in || ys.Cols != w.out {
 		return fmt.Errorf("core: ingest expects %d→%d, got %d→%d", w.in, w.out, xs.Cols, ys.Cols)
 	}
+	// Partition rows by shard so the bulk path pays one lock round-trip
+	// (and, for drift, one published-model load) per shard instead of
+	// per row.
+	byShard := make([][]int, len(w.shards))
 	for i := 0; i < xs.Rows; i++ {
-		s := w.shards[w.router.Route(xs.Row(i))]
+		si := w.router.Route(xs.Row(i))
+		byShard[si] = append(byShard[si], i)
+	}
+	for si, idx := range byShard {
+		if len(idx) == 0 {
+			continue
+		}
+		s := w.shards[si]
+		// Residuals against the currently published model, computed
+		// outside the shard lock: Predict must already tolerate
+		// concurrent readers (the serving path's contract). The model and
+		// its generation are captured as a consistent pair so residuals
+		// measured against a model that a background refit supersedes
+		// mid-computation are discarded, never folded into the new
+		// model's fresh EWMA.
+		var resids []float64
+		residGen := -1
+		if w.cfg.DriftFactor > 0 {
+			s.mu.Lock()
+			surp := s.active.Load()
+			residGen = s.publishedGen
+			s.mu.Unlock()
+			if surp != nil {
+				resids = batchResiduals(*surp, xs, ys, idx)
+			}
+		}
 		s.mu.Lock()
-		s.retain.add(s.xs, s.ys, xs.Row(i), ys.Row(i))
-		s.newSinceTrain++
+		if resids != nil && s.publishedGen != residGen {
+			resids = nil // a newer model published mid-computation
+		}
+		for k, i := range idx {
+			s.retain.add(s.xs, s.ys, xs.Row(i), ys.Row(i))
+			s.newSinceTrain++
+			if resids != nil {
+				s.observeResidualLocked(resids[k], w.cfg.DriftFactor, w.cfg.DriftAlpha)
+			}
+		}
 		s.mu.Unlock()
 	}
 	return nil
+}
+
+// meanAbsDiff is the mean absolute elementwise difference — the residual
+// metric drift tracking uses.
+func meanAbsDiff(a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for j := range a {
+		sum += math.Abs(a[j] - b[j])
+	}
+	return sum / float64(len(a))
 }
 
 // TrainAll synchronously fits every non-empty shard on a snapshot of its
@@ -745,7 +972,7 @@ func (w *ShardedWrapper) TrainAll() error {
 		}
 		dt := time.Since(t0)
 		w.record(func(l *Ledger) { l.RecordTraining(dt, snapX.Rows) })
-		s.publishIfNewer(sur, gen)
+		s.publishIfNewer(sur, gen, w.driftBaselineFor(sur, snapX, snapY))
 	})
 	for _, err := range errs {
 		if err != nil {

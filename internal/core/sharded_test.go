@@ -695,3 +695,256 @@ func (f *failSur) Predict(x []float64) []float64   { panic("untrained") }
 func (f *failSur) PredictWithUQ(x []float64) (mean, std []float64) {
 	panic("untrained")
 }
+
+// meanSur is a deterministic surrogate that learns the column means of
+// its training targets and predicts them with zero claimed uncertainty —
+// a fixed model whose residual against shifted data is exactly the shift.
+type meanSur struct {
+	mean    []float64
+	trained bool
+}
+
+func (m *meanSur) Train(x, y *tensor.Matrix) error {
+	m.mean = make([]float64, y.Cols)
+	for i := 0; i < y.Rows; i++ {
+		for j := 0; j < y.Cols; j++ {
+			m.mean[j] += y.At(i, j)
+		}
+	}
+	for j := range m.mean {
+		m.mean[j] /= float64(y.Rows)
+	}
+	m.trained = true
+	return nil
+}
+
+func (m *meanSur) Trained() bool                 { return m.trained }
+func (m *meanSur) Predict(x []float64) []float64 { return append([]float64(nil), m.mean...) }
+
+// PredictBatch implements BatchPredictor, so the drift tests exercise
+// the batched residual path end to end.
+func (m *meanSur) PredictBatch(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, len(m.mean))
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), m.mean)
+	}
+	return out
+}
+func (m *meanSur) PredictWithUQ(x []float64) (mean, std []float64) {
+	return m.Predict(x), make([]float64, len(m.mean))
+}
+
+// TestShardedDriftTriggeredRefit pins the adaptive-retrain contract:
+// ingesting data the published model still explains leaves the shard
+// clean, a residual shift past DriftFactor × the post-publish baseline
+// marks it drifted (visible in Status), RefitStale retrains it even
+// though RetrainEvery is disabled, and the publish clears the drift
+// state. A second drift burst then proves the query path's own refit
+// trigger honours the drift flag too.
+func TestShardedDriftTriggeredRefit(t *testing.T) {
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{-3}, nil
+	}}
+	w := NewShardedWrapper(oracle, func() Surrogate { return &meanSur{} }, ShardedConfig{
+		Router:          HashRouter{Shards: 1},
+		MinTrainSamples: 4,
+		RetrainEvery:    0,  // drift is the only retrain trigger
+		UQThreshold:     -1, // every query falls back to the oracle
+		DriftFactor:     2,
+	})
+
+	ingest := func(n int, y func(i int) float64) {
+		xs := tensor.NewMatrix(n, 2)
+		ys := tensor.NewMatrix(n, 1)
+		for i := 0; i < n; i++ {
+			xs.Set(i, 0, float64(i))
+			ys.Set(i, 0, y(i))
+		}
+		if err := w.Ingest(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Seed and publish the first model (mean ≈ 1).
+	ingest(8, func(i int) float64 { return 1 + 0.01*math.Sin(float64(i)) })
+	if err := w.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen0 := w.Status()[0].Generation
+	if gen0 < 0 {
+		t.Fatal("first model never published")
+	}
+
+	// Consistent data: warms the baseline, no drift.
+	ingest(24, func(i int) float64 { return 1 + 0.01*math.Sin(float64(i)) })
+	if st := w.Status()[0]; st.Drifted {
+		t.Fatalf("consistent ingest marked the shard drifted: %+v", st)
+	}
+
+	// Shifted data: residual jumps from ~0.006 to ~4.
+	ingest(24, func(int) float64 { return 5 })
+	st := w.Status()[0]
+	if !st.Drifted {
+		t.Fatalf("shifted ingest did not mark the shard drifted: %+v", st)
+	}
+	if st.DriftRatio <= 2 {
+		t.Fatalf("drift ratio %.2f, want > DriftFactor 2", st.DriftRatio)
+	}
+
+	// RefitStale picks the drifted shard up and the publish clears it.
+	if spawned := w.RefitStale(); spawned != 1 {
+		t.Fatalf("RefitStale spawned %d refits, want 1", spawned)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st = w.Status()[0]
+	if st.Drifted || st.Generation <= gen0 {
+		t.Fatalf("refit did not clear drift / advance generation: %+v", st)
+	}
+
+	// Second drift burst, drained through the query path this time: with
+	// RetrainEvery disabled, only the drift flag can make the fallback
+	// sample's refit check fire.
+	ingest(24, func(int) float64 { return -3 })
+	if st := w.Status()[0]; !st.Drifted {
+		t.Fatalf("second shift did not re-mark drift: %+v", st)
+	}
+	gen1 := st.Generation
+	if _, src, _, err := w.Query([]float64{0.5, 0.5}); err != nil || src != FromSimulation {
+		t.Fatalf("query = (%v, %v), want an oracle fallback", src, err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st = w.Status()[0]
+	if st.Drifted || st.Generation <= gen1 {
+		t.Fatalf("query-path drift refit never ran: %+v", st)
+	}
+}
+
+// gatedMeanSur is a meanSur whose Train blocks until released,
+// signalling entry — the deterministic stand-in for a slow drift refit.
+type gatedMeanSur struct {
+	meanSur
+	started chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedMeanSur) Train(x, y *tensor.Matrix) error {
+	close(g.started)
+	<-g.release
+	return g.meanSur.Train(x, y)
+}
+
+// TestDriftRaisedMidRefitSurvivesPublish pins the snapshot-coverage
+// contract of the drift flag: drift tripped by samples ingested AFTER a
+// refit's snapshot was taken must survive that refit's publish (the new
+// model never saw those samples) and chain a follow-up refit that does.
+func TestDriftRaisedMidRefitSurvivesPublish(t *testing.T) {
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{0}, nil
+	}}
+	gated := &gatedMeanSur{started: make(chan struct{}), release: make(chan struct{})}
+	fits := 0
+	w := NewShardedWrapper(oracle, func() Surrogate {
+		fits++
+		if fits == 2 {
+			return gated // the drift-triggered refit, held in flight
+		}
+		return &meanSur{}
+	}, ShardedConfig{
+		Router:          HashRouter{Shards: 1},
+		MinTrainSamples: 4,
+		RetrainEvery:    0,
+		DriftFactor:     2,
+	})
+
+	ingest := func(n int, v float64) {
+		xs := tensor.NewMatrix(n, 2)
+		ys := tensor.NewMatrix(n, 1)
+		for i := 0; i < n; i++ {
+			xs.Set(i, 0, float64(i))
+			ys.Set(i, 0, v+0.01*math.Sin(float64(i)))
+		}
+		if err := w.Ingest(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ingest(8, 1)
+	if err := w.TrainAll(); err != nil { // fit #1: publishes mean≈1
+		t.Fatal(err)
+	}
+	ingest(16, 5) // regime shift: trips drift against model #1
+	if !w.Status()[0].Drifted {
+		t.Fatal("first shift did not trip drift")
+	}
+	if spawned := w.RefitStale(); spawned != 1 { // fit #2: gated
+		t.Fatalf("RefitStale spawned %d, want 1", spawned)
+	}
+	<-gated.started
+	// While fit #2 trains on its snapshot, a second regime shift arrives:
+	// these samples are in no snapshot, and must re-trip drift.
+	ingest(16, -4)
+	if !w.Status()[0].Drifted {
+		t.Fatal("mid-refit shift did not trip drift")
+	}
+	close(gated.release)
+	if err := w.Wait(); err != nil { // drains fit #2 AND the chained fit #3
+		t.Fatal(err)
+	}
+	st := w.Status()[0]
+	if st.Drifted {
+		t.Fatalf("drift flag not cleared after a covering refit: %+v", st)
+	}
+	if st.Generation < 2 {
+		t.Fatalf("generation %d: the publish of the stale snapshot swallowed the drift flag instead of chaining a follow-up refit", st.Generation)
+	}
+	if fits < 3 {
+		t.Fatalf("%d fits ran; the mid-refit drift never chained its own refit", fits)
+	}
+}
+
+// constSur is a minimal Surrogate WITHOUT the BatchPredictor capability:
+// drift residuals for it must flow through the per-row fallback.
+type constSur struct{ trained bool }
+
+func (c *constSur) Train(x, y *tensor.Matrix) error { c.trained = true; return nil }
+func (c *constSur) Trained() bool                   { return c.trained }
+func (c *constSur) Predict(x []float64) []float64   { return []float64{0} }
+func (c *constSur) PredictWithUQ(x []float64) (mean, std []float64) {
+	return []float64{0}, []float64{0}
+}
+
+// TestDriftResidualFallbackPath checks drift tracking still works for
+// surrogates that cannot batch-predict: the per-row residual fallback
+// trips the flag just the same.
+func TestDriftResidualFallbackPath(t *testing.T) {
+	oracle := OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{0}, nil
+	}}
+	w := NewShardedWrapper(oracle, func() Surrogate { return &constSur{} }, ShardedConfig{
+		Router:          HashRouter{Shards: 1},
+		MinTrainSamples: 2,
+		DriftFactor:     2,
+	})
+	seed := tensor.NewMatrix(4, 2)
+	seedY := tensor.NewMatrix(4, 1)
+	seedY.Fill(1) // constSur predicts 0 → in-sample baseline 1
+	if err := w.Ingest(seed, seedY); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	shifted := tensor.NewMatrix(16, 2)
+	shiftedY := tensor.NewMatrix(16, 1)
+	shiftedY.Fill(5) // residual 5 > 2 × baseline 1
+	if err := w.Ingest(shifted, shiftedY); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Status()[0]; !st.Drifted || st.DriftRatio <= 2 {
+		t.Fatalf("per-row fallback never tripped drift: %+v", st)
+	}
+}

@@ -203,3 +203,30 @@ func TestE6(t *testing.T) {
 		t.Fatal("table missing header")
 	}
 }
+
+func TestE11(t *testing.T) {
+	r, err := E11FleetServing(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tenants) != 3 {
+		t.Fatalf("fleet served %d tenants, want 3", len(r.Tenants))
+	}
+	// A starvation-prone front-end collapses the min/max per-tenant QPS
+	// ratio toward 0; equal offered load through one dispatch plane must
+	// stay near parity.
+	if r.Fairness < 0.5 {
+		t.Fatalf("fairness %g; one tenant is starving the rest", r.Fairness)
+	}
+	for i, name := range r.Tenants {
+		if r.SurFrac[i] < 0.5 {
+			t.Fatalf("tenant %s served only %.0f%% from its surrogate under a wide-open gate", name, 100*r.SurFrac[i])
+		}
+		if r.QPS[i] <= 0 {
+			t.Fatalf("tenant %s reports zero throughput", name)
+		}
+	}
+	if !strings.Contains(r.String(), "fairness") {
+		t.Fatal("table missing fairness line")
+	}
+}

@@ -1,0 +1,420 @@
+// Package fleet implements the multi-tenant serving front-end: one
+// dispatch plane for every surrogate in the process. The paper's
+// "learning everywhere" thesis puts an ML surrogate at every layer of an
+// HPC workload — potentials, tissue stencils, epidemic calibrators — and
+// each of those models wants the same serving machinery: micro-batch
+// coalescing, UQ-gated fallback, background refits. A Fleet serves many
+// named tenants (each a serve.Backend) behind per-tenant coalescers that
+// share one recycled batch pool, with a single lifecycle
+// (Register/Deregister/Close with graceful per-tenant drain), per-tenant
+// admission control (a bounded in-flight count, so one hot model's
+// traffic spike cannot starve the rest), fault containment (a panicking
+// tenant backend surfaces as that tenant's error, never a process crash)
+// and per-tenant serving stats (QPS, mean batch width, latency
+// percentiles, refit staleness).
+//
+// The steady-state query path — tenant lookup, admission, coalesced
+// dispatch through the backend's QueryBatchInto, latency recording — is
+// allocation-free via QueryInto, so consolidating N per-workload
+// pipelines into one fleet costs nothing per query over fronting a
+// single model.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Fleet lifecycle and admission errors.
+var (
+	// ErrClosed is returned by Register and the query paths after Close.
+	ErrClosed = errors.New("fleet: closed")
+	// ErrUnknownTenant is returned when no tenant has the given name —
+	// including tenants deregistered while the query was in flight.
+	ErrUnknownTenant = errors.New("fleet: unknown tenant")
+	// ErrDuplicateTenant is returned by Register for a name already served.
+	ErrDuplicateTenant = errors.New("fleet: tenant already registered")
+	// ErrOverloaded is returned when a tenant's bounded in-flight
+	// admission window is full; the caller should back off (the bound is
+	// what keeps one hot tenant from monopolizing the process).
+	ErrOverloaded = errors.New("fleet: tenant over its in-flight bound")
+)
+
+// Config tunes a Fleet. The zero value selects the defaults.
+type Config struct {
+	// Coalescer is the per-tenant coalescer configuration (zero value =
+	// serve defaults). Its Pool field is ignored: every tenant draws from
+	// the fleet's shared batch pool.
+	Coalescer serve.Config
+	// MaxInFlight bounds each tenant's concurrently admitted queries
+	// (default 4× the coalescer MaxBatch). Queries beyond the bound fail
+	// fast with ErrOverloaded instead of queueing without limit.
+	MaxInFlight int
+	// LatencyWindow is how many recent per-query latencies each tenant
+	// retains for the percentile stats (default 1024, rounded up to a
+	// power of two).
+	LatencyWindow int
+}
+
+func (c *Config) fill() {
+	if c.MaxInFlight <= 0 {
+		mb := c.Coalescer.MaxBatch
+		if mb <= 0 {
+			mb = 64
+		}
+		c.MaxInFlight = 4 * mb
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	w := 1
+	for w < c.LatencyWindow {
+		w <<= 1
+	}
+	c.LatencyWindow = w
+}
+
+// tenant is one registered backend: its coalescer plus admission and
+// stats state. All counters are atomics so the query path takes no
+// tenant lock.
+type tenant struct {
+	name    string
+	backend serve.Backend
+	co      *serve.Coalescer
+	limit   int64
+
+	inflight atomic.Int64
+	rejected atomic.Int64
+	queries  atomic.Int64
+	panics   atomic.Int64
+
+	// lats is a power-of-two ring of recent query latencies (ns),
+	// written with atomic stores so Stats can read concurrently.
+	lats   []int64
+	latPos atomic.Uint64
+
+	// QPS sampling window (Stats-call to Stats-call).
+	statsMu sync.Mutex
+	lastAt  time.Time
+	lastQ   int64
+}
+
+// observe folds one completed query into the tenant's stats. The
+// latency store lands before the query-count increment (and is clamped
+// to ≥1ns) so a percentile reader sizing its sample by the counter and
+// skipping zero slots never mistakes an unwritten slot for a datum.
+func (t *tenant) observe(d time.Duration) {
+	if d <= 0 {
+		d = 1
+	}
+	i := (t.latPos.Add(1) - 1) & uint64(len(t.lats)-1)
+	atomic.StoreInt64(&t.lats[i], int64(d))
+	t.queries.Add(1)
+}
+
+// Fleet is the multi-tenant serving registry. All methods are safe for
+// concurrent use; Query/QueryInto are safe to call concurrently with
+// Register, Deregister and Close (a query racing a Deregister of its own
+// tenant completes or fails with ErrUnknownTenant — never hangs).
+type Fleet struct {
+	cfg  Config
+	pool *serve.BatchPool
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+	closed  bool
+}
+
+// New builds an empty fleet.
+func New(cfg Config) *Fleet {
+	cfg.fill()
+	return &Fleet{
+		cfg:     cfg,
+		pool:    serve.NewBatchPool(),
+		tenants: make(map[string]*tenant),
+	}
+}
+
+// Register adds a named tenant served by backend behind a fresh coalescer
+// drawing on the fleet's shared batch pool, with the fleet's default
+// coalescer configuration.
+func (f *Fleet) Register(name string, backend serve.Backend) error {
+	return f.RegisterWithConfig(name, backend, f.cfg.Coalescer)
+}
+
+// RegisterWithConfig is Register with a per-tenant coalescer
+// configuration (a latency-sensitive tenant can run a smaller MaxBatch
+// than its batch-hungry neighbours). The configuration's Pool field is
+// overridden with the fleet's shared pool.
+func (f *Fleet) RegisterWithConfig(name string, backend serve.Backend, cfg serve.Config) error {
+	if backend == nil {
+		return errors.New("fleet: nil backend")
+	}
+	cfg.Pool = f.pool
+	t := &tenant{
+		name:    name,
+		backend: backend,
+		co:      serve.NewCoalescer(backend, cfg),
+		limit:   int64(f.cfg.MaxInFlight),
+		lats:    make([]int64, f.cfg.LatencyWindow),
+		lastAt:  time.Now(),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, dup := f.tenants[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateTenant, name)
+	}
+	f.tenants[name] = t
+	return nil
+}
+
+// Deregister removes a tenant and drains it gracefully: queries already
+// admitted (including those mid-gather in its coalescer) are served to
+// completion before Deregister returns; concurrent queries that lose the
+// race fail with ErrUnknownTenant. The backend itself is not touched —
+// it belongs to the caller.
+func (f *Fleet) Deregister(name string) error {
+	f.mu.Lock()
+	t := f.tenants[name]
+	if t == nil {
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	delete(f.tenants, name)
+	f.mu.Unlock()
+	return t.co.Close()
+}
+
+// Close deregisters every tenant, draining each coalescer, and marks the
+// fleet closed: subsequent Register and query calls fail. Idempotent.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	ts := make([]*tenant, 0, len(f.tenants))
+	for _, t := range f.tenants {
+		ts = append(ts, t)
+	}
+	f.tenants = make(map[string]*tenant)
+	f.mu.Unlock()
+	for _, t := range ts {
+		t.co.Close()
+	}
+	return nil
+}
+
+// Tenants returns the sorted names of the registered tenants.
+func (f *Fleet) Tenants() []string {
+	f.mu.RLock()
+	names := make([]string, 0, len(f.tenants))
+	for name := range f.tenants {
+		names = append(names, name)
+	}
+	f.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// lookup resolves a tenant name; nil means unknown (or closed).
+func (f *Fleet) lookup(name string) *tenant {
+	f.mu.RLock()
+	t := f.tenants[name]
+	f.mu.RUnlock()
+	return t
+}
+
+// Query submits one input point to the named tenant and blocks until its
+// micro-batch has been served. The returned Y/Std slices are
+// caller-owned. A panicking tenant backend is contained: the panic
+// surfaces as this tenant's error, not a process crash.
+func (f *Fleet) Query(name string, x []float64) (serve.Result, error) {
+	return f.query(name, x, nil, nil)
+}
+
+// QueryInto is the allocation-free form of Query: the answer is copied
+// into y (and, for surrogate answers, std), which must each hold the
+// tenant's output dimensionality. A steady-state caller reusing its
+// buffers performs zero heap allocations per query.
+func (f *Fleet) QueryInto(name string, x, y, std []float64) (serve.Result, error) {
+	return f.query(name, x, y, std)
+}
+
+// query is the shared dispatch path: tenant lookup, admission, coalesced
+// dispatch, stats. nil y selects caller-owned result copies.
+func (f *Fleet) query(name string, x, y, std []float64) (res serve.Result, err error) {
+	t := f.lookup(name)
+	if t == nil {
+		f.mu.RLock()
+		closed := f.closed
+		f.mu.RUnlock()
+		if closed {
+			return serve.Result{}, ErrClosed
+		}
+		return serve.Result{}, ErrUnknownTenant
+	}
+	// Admission: a bounded in-flight window per tenant. One hot tenant
+	// saturating its window sheds load fast instead of parking an
+	// unbounded caller pile-up on the shared machinery.
+	if t.inflight.Add(1) > t.limit {
+		t.inflight.Add(-1)
+		t.rejected.Add(1)
+		return serve.Result{}, ErrOverloaded
+	}
+	t0 := time.Now()
+	defer func() {
+		if pv := recover(); pv != nil {
+			// Tenant fault containment: the coalescer re-throws a backend
+			// panic in exactly the affected batch's callers; the fleet
+			// converts it to this tenant's error so one broken model
+			// cannot take down its neighbours' callers.
+			t.panics.Add(1)
+			res = serve.Result{}
+			err = fmt.Errorf("fleet: tenant %q backend panicked: %v", t.name, pv)
+		}
+		t.observe(time.Since(t0))
+		t.inflight.Add(-1)
+	}()
+	if y == nil {
+		res, err = t.co.Query(x)
+	} else {
+		res, err = t.co.QueryInto(x, y, std)
+	}
+	if errors.Is(err, serve.ErrClosed) {
+		// The tenant's coalescer closed under this query: either the
+		// whole fleet shut down (ErrClosed) or just this tenant was
+		// deregistered — in which case, from the caller's view, the
+		// tenant no longer exists.
+		f.mu.RLock()
+		closed := f.closed
+		f.mu.RUnlock()
+		if closed {
+			err = ErrClosed
+		} else {
+			err = ErrUnknownTenant
+		}
+	}
+	return res, err
+}
+
+// TenantStats is one tenant's serving snapshot.
+type TenantStats struct {
+	// Queries is the number of completed queries (admitted and served,
+	// successfully or not) since registration.
+	Queries int64
+	// Rejected counts queries shed by the in-flight admission bound.
+	Rejected int64
+	// Panics counts contained backend panics.
+	Panics int64
+	// InFlight is the instantaneous admitted-query count.
+	InFlight int64
+	// QPS is the query completion rate measured over the interval since
+	// the previous Stats/TenantStats call for this tenant.
+	QPS float64
+	// Batches and MeanBatch report the tenant's coalescing effectiveness.
+	Batches   int64
+	MeanBatch float64
+	// P50 and P99 are latency percentiles over the tenant's recent
+	// latency window (zero until the first query completes).
+	P50, P99 time.Duration
+	// Staleness is the total count of training samples no published model
+	// has absorbed, summed across the backend's shards, for backends that
+	// report per-shard status (core.ShardedWrapper); -1 otherwise.
+	Staleness int
+}
+
+// statuser is the optional backend face that exposes per-shard refit
+// staleness (core.ShardedWrapper implements it).
+type statuser interface {
+	Status() []core.ShardStatus
+}
+
+// snapshot assembles the tenant's stats.
+func (t *tenant) snapshot() TenantStats {
+	cs := t.co.Stats()
+	st := TenantStats{
+		Queries:   t.queries.Load(),
+		Rejected:  t.rejected.Load(),
+		Panics:    t.panics.Load(),
+		InFlight:  t.inflight.Load(),
+		Batches:   cs.Batches,
+		MeanBatch: cs.MeanBatch(),
+		Staleness: -1,
+	}
+	if s, ok := t.backend.(statuser); ok {
+		st.Staleness = 0
+		for _, sh := range s.Status() {
+			st.Staleness += sh.Stale
+		}
+	}
+	// QPS over the window since the previous snapshot.
+	t.statsMu.Lock()
+	now := time.Now()
+	if dt := now.Sub(t.lastAt).Seconds(); dt > 0 {
+		st.QPS = float64(st.Queries-t.lastQ) / dt
+	}
+	t.lastAt, t.lastQ = now, st.Queries
+	t.statsMu.Unlock()
+	// Latency percentiles over the retained ring. Slots still zero —
+	// claimed by an in-flight observe whose store hasn't landed, or never
+	// written — are skipped rather than read as 0ns latencies (observe
+	// clamps real durations to ≥1ns).
+	n := int64(len(t.lats))
+	if st.Queries < n {
+		n = st.Queries
+	}
+	if n > 0 {
+		lats := make([]int64, 0, n)
+		for i := int64(0); i < n; i++ {
+			if v := atomic.LoadInt64(&t.lats[i]); v > 0 {
+				lats = append(lats, v)
+			}
+		}
+		if len(lats) > 0 {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			st.P50 = time.Duration(lats[len(lats)/2])
+			st.P99 = time.Duration(lats[len(lats)*99/100])
+		}
+	}
+	return st
+}
+
+// TenantStats returns one tenant's serving snapshot.
+func (f *Fleet) TenantStats(name string) (TenantStats, error) {
+	t := f.lookup(name)
+	if t == nil {
+		return TenantStats{}, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	return t.snapshot(), nil
+}
+
+// Stats returns every tenant's serving snapshot, keyed by name.
+func (f *Fleet) Stats() map[string]TenantStats {
+	f.mu.RLock()
+	ts := make([]*tenant, 0, len(f.tenants))
+	for _, t := range f.tenants {
+		ts = append(ts, t)
+	}
+	f.mu.RUnlock()
+	out := make(map[string]TenantStats, len(ts))
+	for _, t := range ts {
+		out[t.name] = t.snapshot()
+	}
+	return out
+}

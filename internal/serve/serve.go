@@ -4,7 +4,7 @@
 // gathered into micro-batches with a dual trigger — a batch fills to
 // MaxBatch, or the gather stalls (no new arrivals) with MaxDelay as the
 // hard cap — and each batch runs once through the backend's amortized
-// QueryBatch path, fanning results back to the blocked callers.
+// QueryBatchInto path, fanning results back to the blocked callers.
 //
 // Gathering is driven by the batch's first caller (the leader), which is
 // blocked waiting for its own answer anyway: instead of sleeping on an
@@ -14,6 +14,12 @@
 // EWMA of the observed arrival rate classifies sparse traffic, which
 // bypasses gathering entirely — a lone query is dispatched immediately
 // rather than taxed with a pointless wait.
+//
+// All per-batch state — the input matrix, the result rows, the dispatch
+// bookkeeping — is recycled through a BatchPool, so the steady-state
+// query path performs zero heap allocations (QueryInto) and coalescers
+// of a multi-tenant fleet can share one pool instead of each warming a
+// private one.
 //
 // This is the per-request → stream-oriented execution bridge the paper's
 // serving story needs: the UQ-gated surrogate answers millions of
@@ -33,15 +39,21 @@ import (
 	"repro/internal/tensor"
 )
 
-// Backend is the serving engine a Coalescer drives. Both core.Wrapper and
-// core.ShardedWrapper implement it; the sharded backend additionally
-// groups each micro-batch's rows by shard so every shard sees one fused
-// batch per dispatch.
+// Backend is the serving engine a Coalescer (and a fleet of them) drives.
+// Both core.Wrapper and core.ShardedWrapper satisfy it natively; the
+// sharded backend additionally groups each micro-batch's rows by shard so
+// every shard sees one fused batch per dispatch.
 type Backend interface {
 	// QueryBatch answers every row of xs; row results must remain valid
-	// after the call returns (the coalescer hands them to independent
-	// callers).
+	// after the call returns.
 	QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error)
+	// QueryBatchInto is the buffer-reusing form: results land in res
+	// (len == xs.Rows), overwriting each row's Y/Std in place when their
+	// capacity suffices, so a steady-state dispatch loop reusing one res
+	// slice performs zero heap allocations. Every row must be written
+	// (a batch-level error may accompany valid rows, mirroring
+	// core.Wrapper's retrain-failure contract).
+	QueryBatchInto(xs *tensor.Matrix, res []core.BatchResult) error
 	// Dims returns the input and output dimensionality.
 	Dims() (in, out int)
 }
@@ -63,6 +75,10 @@ type Config struct {
 	// EWMAAlpha is the smoothing factor of the arrival-interval estimate
 	// in (0, 1]; larger adapts faster (default 0.2).
 	EWMAAlpha float64
+	// Pool supplies the recycled batch/dispatch state. Coalescers sharing
+	// one pool (the per-tenant instances of a fleet) amortize their gather
+	// buffers across tenants; nil gives the coalescer a private pool.
+	Pool *BatchPool
 }
 
 func (c *Config) fill() {
@@ -77,6 +93,9 @@ func (c *Config) fill() {
 	}
 	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
 		c.EWMAAlpha = 0.2
+	}
+	if c.Pool == nil {
+		c.Pool = NewBatchPool()
 	}
 }
 
@@ -104,21 +123,60 @@ func (s Stats) MeanBatch() float64 {
 // ErrClosed is returned by Query after Close.
 var ErrClosed = errors.New("serve: coalescer closed")
 
-// batch is one forming/in-flight micro-batch. The struct (and its input
-// matrix) is pooled; the done channel and the backend's result slice are
-// the only per-batch allocations, amortized over every gathered query.
-// A batch cannot return to the pool before every caller has consumed its
-// row (the refs count), so a leader still spinning on a batch pointer
-// always observes its own incarnation.
+// errRowNotServed marks a pooled result row the backend never wrote.
+// Rows are pre-stamped with it before every dispatch, so a backend that
+// violates the QueryBatchInto every-row-written contract (e.g. by
+// erroring out early) surfaces this error instead of leaking a previous
+// batch's recycled answer to an unrelated caller.
+var errRowNotServed = errors.New("serve: backend did not serve this row")
+
+// batch is one forming/in-flight micro-batch. The struct, its input
+// matrix and its result rows are pooled; the done channel — minted
+// lazily, only once a second caller joins — is the sole per-batch
+// allocation left, amortized over every gathered query and absent
+// entirely from single-caller dispatches. A batch cannot return to the
+// pool before every caller has consumed its row (the refs count), so a
+// leader still spinning on a batch pointer always observes its own
+// incarnation.
 type batch struct {
 	xs       *tensor.Matrix
 	n        int
-	done     chan struct{} // closed when res/err/panicked are final
+	done     chan struct{} // non-nil once a second caller joins; closed when res/err/panicked are final
 	res      []core.BatchResult
 	err      error
 	panicked any
 	refs     atomic.Int32 // callers yet to consume; last one recycles
 }
+
+// BatchPool recycles batch/dispatch state across coalescer instances.
+// Batches are dimension-agnostic buffers (the input matrix is reshaped on
+// lease, result-row capacities regrow on demand), so coalescers fronting
+// backends of different shapes — the per-tenant instances of a fleet —
+// can draw from one shared pool instead of each warming a private one.
+// The zero value is NOT ready; use NewBatchPool.
+type BatchPool struct {
+	pool sync.Pool // *batch
+}
+
+// NewBatchPool builds an empty shared pool.
+func NewBatchPool() *BatchPool { return &BatchPool{} }
+
+// lease takes a recycled batch (or mints one) ready for filling with
+// in-dimensional rows.
+func (p *BatchPool) lease(in int) *batch {
+	b, _ := p.pool.Get().(*batch)
+	if b == nil {
+		b = &batch{xs: tensor.NewMatrix(0, in)}
+	}
+	b.xs.Reshape(0, in)
+	b.n = 0
+	b.done = nil
+	b.err, b.panicked = nil, nil
+	return b
+}
+
+// put recycles b after its last caller released it.
+func (p *BatchPool) put(b *batch) { p.pool.Put(b) }
 
 // Coalescer gathers concurrent Query calls into micro-batches for a
 // Backend. All methods are safe for concurrent use. Close drains
@@ -126,7 +184,7 @@ type batch struct {
 // and subsequent queries fail with ErrClosed.
 type Coalescer struct {
 	backend Backend
-	in      int
+	in, out int
 	cfg     Config
 
 	active atomic.Int64 // Query calls in flight (the observable concurrency)
@@ -140,21 +198,40 @@ type Coalescer struct {
 	nBatches   int64
 
 	inflight sync.WaitGroup // dispatched batches not yet completed
-	pool     sync.Pool      // *batch
+	pool     *BatchPool
 }
 
 // NewCoalescer builds a coalescer over backend.
 func NewCoalescer(backend Backend, cfg Config) *Coalescer {
 	cfg.fill()
-	in, _ := backend.Dims()
-	return &Coalescer{backend: backend, in: in, cfg: cfg}
+	in, out := backend.Dims()
+	return &Coalescer{backend: backend, in: in, out: out, cfg: cfg, pool: cfg.Pool}
 }
 
 // Query submits one input point and blocks until its micro-batch has been
 // served, returning the same answer a direct backend QueryBatch row would
-// produce. Per-row oracle failures surface as the returned error; a panic
-// in the backend propagates to exactly the callers of the affected batch.
+// produce. The returned Y/Std slices are caller-owned. Per-row oracle
+// failures surface as the returned error; a panic in the backend
+// propagates to exactly the callers of the affected batch.
 func (c *Coalescer) Query(x []float64) (Result, error) {
+	return c.query(x, nil, nil)
+}
+
+// QueryInto is the allocation-free form of Query: the answer is copied
+// into y (and, for surrogate answers, std), which must each hold at least
+// the backend's output dimensionality; the returned Result's Y/Std alias
+// them. A steady-state caller reusing its buffers performs zero heap
+// allocations per query once the batch pool is warm.
+func (c *Coalescer) QueryInto(x, y, std []float64) (Result, error) {
+	if len(y) < c.out || len(std) < c.out {
+		return Result{}, fmt.Errorf("serve: result buffers hold %d/%d values, backend yields %d", len(y), len(std), c.out)
+	}
+	return c.query(x, y, std)
+}
+
+// query is the shared body of Query/QueryInto; nil y selects caller-owned
+// copies.
+func (c *Coalescer) query(x, y, std []float64) (Result, error) {
 	if len(x) != c.in {
 		return Result{}, fmt.Errorf("serve: query has %d dims, backend wants %d", len(x), c.in)
 	}
@@ -179,17 +256,23 @@ func (c *Coalescer) Query(x []float64) (Result, error) {
 			// EWMA sees through that, and the gather path below costs a
 			// misclassified lone caller only a few yields before its
 			// stall/all-joined triggers fire.
-			b = c.lease()
+			b = c.pool.lease(c.in)
 			b.xs.AppendRow(x)
 			b.n = 1
 			c.registerDispatchLocked(b)
 			c.mu.Unlock()
 			c.run(b)
-			return c.collect(b, 0)
+			return c.collect(b, 0, y, std)
 		}
-		b = c.lease()
+		b = c.pool.lease(c.in)
 		c.cur = b
 		leader = true
+	} else if b.done == nil {
+		// Second caller: the batch now has waiters beyond its eventual
+		// dispatcher, so it needs a completion broadcast. Minting the
+		// channel here (not at lease) keeps single-caller batches — the
+		// whole of a one-goroutine dense stream — allocation-free.
+		b.done = make(chan struct{})
 	}
 	idx := b.n
 	b.xs.AppendRow(x)
@@ -198,37 +281,75 @@ func (c *Coalescer) Query(x []float64) (Result, error) {
 	if full {
 		c.detachLocked()
 	}
+	done := b.done
 	c.mu.Unlock()
 
 	if full {
 		// Size trigger: the filling caller runs the batch inline — no
-		// goroutine hop on the hot path.
+		// goroutine hop on the hot path — and its results are final when
+		// run returns; no need to wait on done.
 		c.run(b)
 	} else if leader {
-		c.lead(b)
+		dispatched, ch := c.lead(b)
+		if !dispatched {
+			// Another caller (size trigger) or Close dispatched the
+			// batch; ch was captured under the lock and is non-nil
+			// whenever someone other than this leader runs the batch.
+			<-ch
+		}
+	} else {
+		<-done
 	}
-	<-b.done
-	return c.collect(b, idx)
+	return c.collect(b, idx, y, std)
 }
 
 // collect extracts caller idx's answer from a completed batch and retires
-// the caller's claim on it. A batch-level backend error (e.g. a failed
-// retrain inside core.Wrapper.QueryBatch) does not discard row results
-// that were already computed: mirroring the direct QueryBatch contract,
-// each caller receives its row's answer (when one exists) alongside the
-// error, with the row's own error taking precedence.
-func (c *Coalescer) collect(b *batch, idx int) (Result, error) {
+// the caller's claim on it. Pooled result rows never escape: the row is
+// copied — into fresh caller-owned slices (nil y) or into the caller's
+// reused buffers — before the batch can recycle. A batch-level backend
+// error (e.g. a failed retrain inside core.Wrapper.QueryBatchInto) does
+// not discard row results that were already computed: mirroring the
+// direct QueryBatch contract, each caller receives its row's answer (when
+// one exists) alongside the error, with the row's own error taking
+// precedence.
+func (c *Coalescer) collect(b *batch, idx int, y, std []float64) (Result, error) {
 	if pv := b.panicked; pv != nil {
 		c.release(b)
 		panic(pv)
 	}
-	if b.res == nil {
+	r := &b.res[idx]
+	if r.Err == errRowNotServed {
+		// The backend never wrote this row (contract violation or an
+		// early error return): expose the batch error, never the
+		// recycled row's stale contents.
 		err := b.err
+		if err == nil {
+			err = errRowNotServed
+		}
 		c.release(b)
 		return Result{}, err
 	}
-	r := b.res[idx]
-	out := Result{Y: r.Y, Src: r.Src, Std: r.Std}
+	var out Result
+	out.Src = r.Src
+	if r.Y != nil {
+		if y != nil {
+			out.Y = y[:len(r.Y)]
+			copy(out.Y, r.Y)
+			if r.Std != nil {
+				out.Std = std[:len(r.Std)]
+				copy(out.Std, r.Std)
+			}
+		} else {
+			buf := make([]float64, len(r.Y)+len(r.Std))
+			// Cap Y so an appending caller can never grow into Std.
+			out.Y = buf[:len(r.Y):len(r.Y)]
+			copy(out.Y, r.Y)
+			if r.Std != nil {
+				out.Std = buf[len(r.Y):]
+				copy(out.Std, r.Std)
+			}
+		}
+	}
 	err := r.Err
 	if err == nil {
 		err = b.err
@@ -244,8 +365,10 @@ func (c *Coalescer) collect(b *batch, idx int) (Result, error) {
 // for StallSpins consecutive yields, or when the EWMA-tuned deadline
 // (the estimated time for a full batch to arrive, capped at MaxDelay)
 // elapses. If another caller dispatches the batch first (size trigger or
-// Close), the leader simply stops leading.
-func (c *Coalescer) lead(b *batch) {
+// Close), the leader reports dispatched=false along with the batch's
+// completion channel (captured under the lock; guaranteed non-nil, since
+// every foreign dispatch path mints it first).
+func (c *Coalescer) lead(b *batch) (dispatched bool, done chan struct{}) {
 	stall := 0
 	lastN := 0
 	var start time.Time
@@ -255,8 +378,9 @@ func (c *Coalescer) lead(b *batch) {
 		c.mu.Lock()
 		if c.cur != b {
 			// Dispatched by a size trigger or flushed by Close.
+			done = b.done
 			c.mu.Unlock()
-			return
+			return false, done
 		}
 		if b.n == lastN {
 			stall++
@@ -282,7 +406,7 @@ func (c *Coalescer) lead(b *batch) {
 			c.detachLocked()
 			c.mu.Unlock()
 			c.run(b)
-			return
+			return true, nil
 		}
 		c.mu.Unlock()
 	}
@@ -310,19 +434,6 @@ func (c *Coalescer) adaptiveDeadlineLocked() time.Duration {
 		return c.cfg.MaxDelay
 	}
 	return fill
-}
-
-// lease takes a recycled batch (or mints one) ready for filling.
-func (c *Coalescer) lease() *batch {
-	b, _ := c.pool.Get().(*batch)
-	if b == nil {
-		b = &batch{xs: tensor.NewMatrix(0, c.in)}
-	}
-	b.xs.Reshape(0, c.in)
-	b.n = 0
-	b.done = make(chan struct{})
-	b.res, b.err, b.panicked = nil, nil, nil
-	return b
 }
 
 // registerDispatchLocked accounts one batch dispatch: claims the caller
@@ -353,25 +464,34 @@ func (c *Coalescer) detachLocked() {
 	c.registerDispatchLocked(b)
 }
 
-// run executes one dispatched batch on the backend and wakes its callers.
-// A backend panic is captured and re-thrown in every caller of this batch
-// (and only this batch).
+// run executes one dispatched batch on the backend through the pooled
+// result rows and wakes its callers. A backend panic is captured and
+// re-thrown in every caller of this batch (and only this batch).
 func (c *Coalescer) run(b *batch) {
 	defer func() {
 		if pv := recover(); pv != nil {
 			b.panicked = pv
 		}
-		close(b.done)
+		if b.done != nil {
+			close(b.done)
+		}
 		c.inflight.Done()
 	}()
-	b.res, b.err = c.backend.QueryBatch(b.xs)
+	if cap(b.res) < b.n {
+		// Grow preserving the recycled rows' Y/Std capacities.
+		b.res = append(b.res[:cap(b.res)], make([]core.BatchResult, b.n-cap(b.res))...)
+	}
+	b.res = b.res[:b.n]
+	for i := range b.res {
+		b.res[i].Err = errRowNotServed
+	}
+	b.err = c.backend.QueryBatchInto(b.xs, b.res)
 }
 
 // release retires one caller's claim on b, recycling it after the last.
 func (c *Coalescer) release(b *batch) {
 	if b.refs.Add(-1) == 0 {
-		b.res = nil
-		c.pool.Put(b)
+		c.pool.put(b)
 	}
 }
 
@@ -385,7 +505,9 @@ func (c *Coalescer) Stats() Stats {
 // Close drains the coalescer: the forming batch (if any) is dispatched
 // immediately, all in-flight batches run to completion, and every later
 // Query fails with ErrClosed. Close is idempotent and safe to call
-// concurrently with Query.
+// concurrently with Query — including while queries are mid-gather, the
+// contract Fleet.Deregister relies on: a flushed batch's callers (its
+// spinning leader among them) are all served before Close returns.
 func (c *Coalescer) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -396,6 +518,15 @@ func (c *Coalescer) Close() error {
 	c.closed = true
 	b := c.cur
 	if b != nil {
+		if b.done == nil {
+			// A single-caller batch skips the completion channel because
+			// its only caller normally dispatches it; flushing it from
+			// here means that caller (the spinning leader) must instead
+			// be woken, so mint the channel before detaching. The leader
+			// reads b.done under c.mu only after observing cur != b, so
+			// it always sees this write.
+			b.done = make(chan struct{})
+		}
 		c.detachLocked()
 	}
 	c.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/raceflag"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -21,8 +22,8 @@ type fakeBackend struct {
 	in, out   int
 	delay     time.Duration
 	batches   atomic.Int64
-	failAt    float64 // rows with x0 == failAt get a row error
-	panicAt   float64 // a batch containing x0 == panicAt panics
+	failAt    float64       // rows with x0 == failAt get a row error
+	panicAt   float64       // a batch containing x0 == panicAt panics
 	block     chan struct{} // blocks the FIRST batch after blockUsed reset
 	blockUsed atomic.Bool
 }
@@ -32,6 +33,11 @@ func newFakeBackend() *fakeBackend { return &fakeBackend{in: 2, out: 1} }
 func (f *fakeBackend) Dims() (int, int) { return f.in, f.out }
 
 func (f *fakeBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) {
+	res := make([]core.BatchResult, xs.Rows)
+	return res, f.QueryBatchInto(xs, res)
+}
+
+func (f *fakeBackend) QueryBatchInto(xs *tensor.Matrix, res []core.BatchResult) error {
 	f.batches.Add(1)
 	if f.delay > 0 {
 		time.Sleep(f.delay)
@@ -39,7 +45,6 @@ func (f *fakeBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) 
 	if f.block != nil && f.blockUsed.CompareAndSwap(false, true) {
 		<-f.block
 	}
-	res := make([]core.BatchResult, xs.Rows)
 	for i := 0; i < xs.Rows; i++ {
 		row := xs.Row(i)
 		if f.panicAt != 0 && row[0] == f.panicAt {
@@ -51,7 +56,7 @@ func (f *fakeBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) 
 		}
 		res[i] = core.BatchResult{Y: []float64{row[0] + 2*row[1]}, Src: core.FromSurrogate}
 	}
-	return res, nil
+	return nil
 }
 
 // TestCoalescerCorrectness checks every concurrent caller gets exactly
@@ -494,6 +499,11 @@ type widthRecordingBackend struct {
 func (b *widthRecordingBackend) Dims() (int, int) { return b.inner.Dims() }
 
 func (b *widthRecordingBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) {
+	res := make([]core.BatchResult, xs.Rows)
+	return res, b.QueryBatchInto(xs, res)
+}
+
+func (b *widthRecordingBackend) QueryBatchInto(xs *tensor.Matrix, res []core.BatchResult) error {
 	for {
 		old := b.maxRows.Load()
 		if int64(xs.Rows) <= old || b.maxRows.CompareAndSwap(old, int64(xs.Rows)) {
@@ -504,7 +514,7 @@ func (b *widthRecordingBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResul
 		close(b.sawFirst)
 		<-b.block
 	}
-	return b.inner.QueryBatch(xs)
+	return b.inner.QueryBatchInto(xs, res)
 }
 
 // TestCoalescerSlowOracleCoalesces drives a wrapper whose every query
@@ -546,5 +556,201 @@ func TestCoalescerSlowOracleCoalesces(t *testing.T) {
 	wg.Wait()
 	if mb := c.Stats().MeanBatch(); mb <= 1 {
 		t.Fatalf("slow-oracle mean batch %.2f, want coalescing > 1", mb)
+	}
+}
+
+// TestCoalescerQueryInto checks the allocation-free form: answers are
+// copied into the caller's buffers (which the Result aliases), row errors
+// still surface per caller, and undersized buffers are rejected up front.
+func TestCoalescerQueryInto(t *testing.T) {
+	fb := newFakeBackend()
+	fb.failAt = 7.0
+	c := NewCoalescer(fb, Config{MaxBatch: 8})
+	defer c.Close()
+
+	y := make([]float64, 1)
+	std := make([]float64, 1)
+	r, err := c.QueryInto([]float64{0.5, 0.25}, y, std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Y[0] != 1.0 || y[0] != 1.0 {
+		t.Fatalf("QueryInto copied %g into y=%g, want 1.0 in both", r.Y[0], y[0])
+	}
+	if &r.Y[0] != &y[0] {
+		t.Fatal("Result.Y does not alias the caller's buffer")
+	}
+	if _, err := c.QueryInto([]float64{7.0, 0}, y, std); err == nil {
+		t.Fatal("row error did not surface through QueryInto")
+	}
+	if _, err := c.QueryInto([]float64{0, 0}, nil, std); err == nil {
+		t.Fatal("undersized y buffer accepted")
+	}
+}
+
+// TestCoalescerQueryIntoZeroAlloc pins the steady-state zero-allocation
+// contract of the fleet query path: a warmed single-caller loop through
+// QueryInto — whether classified sparse (solo bypass) or dense
+// (single-caller gather, whose batch never mints a done channel) —
+// performs no heap allocations.
+func TestCoalescerQueryIntoZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; alloc counts are meaningless")
+	}
+	fb := newZeroAllocBackend()
+	c := NewCoalescer(fb, Config{MaxBatch: 8})
+	defer c.Close()
+	x := []float64{0.25, 0.5}
+	y := make([]float64, 1)
+	std := make([]float64, 1)
+	for i := 0; i < 256; i++ { // warm pool, EWMA and result capacities
+		if _, err := c.QueryInto(x, y, std); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(512, func() {
+		if _, err := c.QueryInto(x, y, std); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state QueryInto allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// zeroAllocBackend answers y = x0 - x1 writing into the pooled result
+// rows without allocating once its row capacities are warm.
+type zeroAllocBackend struct{}
+
+func newZeroAllocBackend() *zeroAllocBackend { return &zeroAllocBackend{} }
+
+func (z *zeroAllocBackend) Dims() (int, int) { return 2, 1 }
+
+func (z *zeroAllocBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) {
+	res := make([]core.BatchResult, xs.Rows)
+	return res, z.QueryBatchInto(xs, res)
+}
+
+func (z *zeroAllocBackend) QueryBatchInto(xs *tensor.Matrix, res []core.BatchResult) error {
+	for i := 0; i < xs.Rows; i++ {
+		row := xs.Row(i)
+		res[i].Y = append(res[i].Y[:0], row[0]-row[1])
+		res[i].Std = append(res[i].Std[:0], 0.01)
+		res[i].Src = core.FromSurrogate
+		res[i].Err = nil
+	}
+	return nil
+}
+
+// TestCoalescerSharedPool runs two coalescers of different backend shapes
+// over one shared BatchPool under concurrent load (run with -race): the
+// recycled batches are reshaped per lease, so tenants never observe each
+// other's rows.
+func TestCoalescerSharedPool(t *testing.T) {
+	pool := NewBatchPool()
+	fb2 := newFakeBackend() // 2-in: y = x0 + 2*x1
+	fb2.delay = 20 * time.Microsecond
+	wide := &wideBackend{} // 3-in, 2-out
+	c2 := NewCoalescer(fb2, Config{MaxBatch: 8, Pool: pool})
+	defer c2.Close()
+	c3 := NewCoalescer(wide, Config{MaxBatch: 8, Pool: pool})
+	defer c3.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for i := 0; i < 100; i++ {
+				if seed%2 == 0 {
+					x := []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+					r, err := c2.Query(x)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if math.Abs(r.Y[0]-(x[0]+2*x[1])) > 1e-15 {
+						t.Errorf("2d tenant: got %g want %g", r.Y[0], x[0]+2*x[1])
+						return
+					}
+				} else {
+					x := []float64{rng.Range(-1, 1), rng.Range(-1, 1), rng.Range(-1, 1)}
+					r, err := c3.Query(x)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if len(r.Y) != 2 || math.Abs(r.Y[0]-(x[0]+x[1]+x[2])) > 1e-15 || math.Abs(r.Y[1]-x[0]*x[1]) > 1e-15 {
+						t.Errorf("3d tenant: corrupted row %v for %v", r.Y, x)
+						return
+					}
+				}
+			}
+		}(uint64(100 + g))
+	}
+	wg.Wait()
+}
+
+// wideBackend is a 3-in 2-out deterministic backend: y = (sum, x0*x1).
+type wideBackend struct{}
+
+func (w *wideBackend) Dims() (int, int) { return 3, 2 }
+
+func (w *wideBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) {
+	res := make([]core.BatchResult, xs.Rows)
+	return res, w.QueryBatchInto(xs, res)
+}
+
+func (w *wideBackend) QueryBatchInto(xs *tensor.Matrix, res []core.BatchResult) error {
+	for i := 0; i < xs.Rows; i++ {
+		row := xs.Row(i)
+		res[i] = core.BatchResult{
+			Y:   []float64{row[0] + row[1] + row[2], row[0] * row[1]},
+			Src: core.FromSurrogate,
+		}
+	}
+	return nil
+}
+
+// misbehavingBackend violates the QueryBatchInto every-row-written
+// contract: it errors out without touching res.
+type misbehavingBackend struct{ healthy fakeBackend }
+
+func (m *misbehavingBackend) Dims() (int, int) { return 2, 1 }
+
+func (m *misbehavingBackend) QueryBatch(xs *tensor.Matrix) ([]core.BatchResult, error) {
+	res := make([]core.BatchResult, xs.Rows)
+	return res, m.QueryBatchInto(xs, res)
+}
+
+func (m *misbehavingBackend) QueryBatchInto(xs *tensor.Matrix, res []core.BatchResult) error {
+	if xs.Row(0)[0] < 0 {
+		return errors.New("backend bailed before writing any row")
+	}
+	return m.healthy.QueryBatchInto(xs, res)
+}
+
+// TestCoalescerStaleRowGuard pins the pooled-row safety net: a backend
+// that errors without writing its rows must surface an error — never a
+// previous batch's recycled answer.
+func TestCoalescerStaleRowGuard(t *testing.T) {
+	c := NewCoalescer(&misbehavingBackend{}, Config{MaxBatch: 8})
+	defer c.Close()
+	// Warm the pool with healthy queries so recycled rows hold real
+	// (stale) answers.
+	for i := 0; i < 32; i++ {
+		if _, err := c.Query([]float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		r, err := c.Query([]float64{-1, 1}) // triggers the early error
+		if err == nil {
+			t.Fatalf("contract-violating backend returned no error (Y=%v)", r.Y)
+		}
+		if r.Y != nil {
+			t.Fatalf("stale pooled row leaked to the caller: %v", r.Y)
+		}
 	}
 }

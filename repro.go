@@ -35,6 +35,21 @@
 //	defer h.Close()
 //	res, err := h.Query(x) // concurrent callers coalesce automatically
 //
+// A process serving many surrogates — the paper's "learning everywhere"
+// shape, with an ML model at every layer of the workload — consolidates
+// them behind one Fleet: a named-tenant registry of per-model coalescers
+// over shared dispatch machinery, with bounded per-tenant admission,
+// graceful Register/Deregister lifecycle, panic containment and
+// per-tenant serving stats. The steady-state fleet query path
+// (QueryInto) is allocation-free:
+//
+//	fl := repro.NewFleet(repro.FleetConfig{})
+//	defer fl.Close()
+//	fl.Register("potential", potWrapper)
+//	fl.Register("tissue", tissueWrapper)
+//	res, err := fl.Query("potential", x)
+//	for name, st := range fl.Stats() { fmt.Println(name, st.QPS, st.P99) }
+//
 // Batch-driving callers (simulation sweeps) reuse one result slice with
 // QueryBatchInto, which serves the whole batch through the surrogate's
 // compiled batch program at zero steady-state allocations; Retention
@@ -48,6 +63,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -66,6 +82,9 @@ type (
 	// BatchSurrogateInto additionally writes batched UQ predictions into
 	// caller-owned matrices (the allocation-free serving form).
 	BatchSurrogateInto = core.BatchSurrogateInto
+	// BatchPredictor is the optional deterministic batched point-predict
+	// capability the drift tracker's bulk paths prefer.
+	BatchPredictor = core.BatchPredictor
 	// BatchResult is one row's answer from Wrapper.QueryBatch.
 	BatchResult = core.BatchResult
 	// NNSurrogate is the reference MC-dropout MLP surrogate.
@@ -102,9 +121,20 @@ type (
 	CoalescerConfig = serve.Config
 	// CoalescedResult is one coalesced query's answer.
 	CoalescedResult = serve.Result
-	// ServeBackend is the engine a Coalescer drives; both Wrapper and
-	// ShardedWrapper implement it.
+	// ServeBackend is the engine a Coalescer (and a Fleet tenant) drives;
+	// both Wrapper and ShardedWrapper implement it, including the
+	// zero-alloc QueryBatchInto dispatch form.
 	ServeBackend = serve.Backend
+	// BatchPool recycles coalescer batch state; a fleet's tenants share one.
+	BatchPool = serve.BatchPool
+	// Fleet is the multi-tenant serving registry: many named surrogate
+	// backends behind per-tenant coalescers with shared dispatch
+	// machinery, bounded admission and per-tenant stats.
+	Fleet = fleet.Fleet
+	// FleetConfig tunes a Fleet (zero value = defaults).
+	FleetConfig = fleet.Config
+	// TenantStats is one fleet tenant's serving snapshot.
+	TenantStats = fleet.TenantStats
 	// Ledger is the effective-performance accounting record.
 	Ledger = core.Ledger
 	// Source tells which path answered a query.
@@ -191,8 +221,34 @@ func Serve(backend ServeBackend, cfg CoalescerConfig) *Coalescer {
 	return serve.NewCoalescer(backend, cfg)
 }
 
+// NewFleet builds an empty multi-tenant serving fleet: Register named
+// backends (Wrapper or ShardedWrapper) and query them by name; every
+// tenant's coalescer draws on one shared batch pool, admission is
+// bounded per tenant, and Close drains every tenant gracefully.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// KDCutsFromSamples returns ascending equal-mass cut points along
+// dimension dim of the sample distribution, ready to feed a KDRouter —
+// the auto-tuned alternative to hand-placed shard cuts.
+func KDCutsFromSamples(samples *Matrix, dim, shards int) []float64 {
+	return core.KDCutsFromSamples(samples, dim, shards)
+}
+
 // ErrServeClosed is returned by Coalescer.Query after Close.
 var ErrServeClosed = serve.ErrClosed
+
+// Fleet lifecycle and admission errors, re-exported.
+var (
+	// ErrFleetClosed is returned by fleet calls after Fleet.Close.
+	ErrFleetClosed = fleet.ErrClosed
+	// ErrUnknownTenant is returned for names no tenant currently holds.
+	ErrUnknownTenant = fleet.ErrUnknownTenant
+	// ErrDuplicateTenant is returned when registering an existing name.
+	ErrDuplicateTenant = fleet.ErrDuplicateTenant
+	// ErrTenantOverloaded is returned when a tenant's bounded in-flight
+	// admission window is full.
+	ErrTenantOverloaded = fleet.ErrOverloaded
+)
 
 // EffectiveSpeedup evaluates the paper's §III-D formula.
 func EffectiveSpeedup(tseq, ttrain, tlearn, tlookup, nlookup, ntrain float64) float64 {

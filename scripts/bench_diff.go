@@ -16,8 +16,13 @@
 // constraint, "substr:allocs=N": every matching entry must then report
 // exactly N allocs/op, which is how zero-allocation contracts (the
 // compiled-batch serving path) are enforced in CI rather than just
-// claimed in a commit message. Entries whose name starts with "_"
-// (snapshot metadata such as _meta.gomaxprocs) are ignored everywhere.
+// claimed in a commit message. -ignore exempts name substrings from the
+// ns/op tolerance (still printed, marked "noise"): it exists for
+// deliberately stalling negative baselines — e.g. the locked wrapper
+// under retrain, whose ns/op is bimodal run to run depending on how many
+// queries land inside a refit window — where a "regression" carries no
+// signal about the code. Entries whose name starts with "_" (snapshot
+// metadata such as _meta.gomaxprocs) are ignored everywhere.
 package main
 
 import (
@@ -80,7 +85,14 @@ func main() {
 	tol := flag.Float64("tol", 15, "max allowed ns/op regression, percent")
 	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
 	require := flag.String("require", "", "comma-separated benchmark-name substrings that must be present in the new snapshot")
+	ignore := flag.String("ignore", "", "comma-separated benchmark-name substrings exempt from the ns/op tolerance (deliberately stalling baselines whose run-to-run variance carries no signal); still printed")
 	flag.Parse()
+	var ignores []string
+	for _, s := range strings.Split(*ignore, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			ignores = append(ignores, s)
+		}
+	}
 
 	var oldPath, newPath string
 	switch flag.NArg() {
@@ -134,7 +146,15 @@ func main() {
 		status := "ok"
 		if deltaPct > *tol {
 			status = "REGRESSION"
-			regressions++
+			for _, ig := range ignores {
+				if strings.Contains(name, ig) {
+					status = "noise"
+					break
+				}
+			}
+			if status == "REGRESSION" {
+				regressions++
+			}
 		}
 		fmt.Printf("  %-5s %-50s %12.0f -> %-12.0f ns/op  %+6.1f%%\n",
 			status, name, od.NsPerOp, nw.NsPerOp, deltaPct)
