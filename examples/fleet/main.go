@@ -80,6 +80,15 @@ func main() {
 			DriftFactor:     2.5, // …plus adaptive ones when the oracle moves
 			UQThreshold:     0.5,
 			OracleWorkers:   8,
+			// The tissue tenant serves its int8 quantized programs:
+			// every published generation quantizes on Train, and lookups
+			// whose UQ decision sits inside the quantization error band
+			// re-run on the retained float program (counted below). Its
+			// bounded response keeps the error band narrow, so the
+			// fallback rate stays low and most queries get the int8 path;
+			// the wide-range potential oracle would sit in the band
+			// constantly and is better left on float.
+			Quantized: spec.name == "tissue",
 		})
 		if err := w.Pretrain(design); err != nil {
 			panic(err)
@@ -129,11 +138,18 @@ func main() {
 	fmt.Printf("  %d queries served (+%d shed by admission) in %v — %.0f q/s total\n",
 		served.Load(), shed.Load(), elapsed.Round(time.Millisecond),
 		float64(served.Load())/elapsed.Seconds())
-	fmt.Printf("  %-10s %12s %8s %12s %12s %10s\n", "tenant", "queries/s", "batch", "p50", "p99", "staleness")
+	fmt.Printf("  %-10s %12s %8s %12s %12s %10s %10s\n", "tenant", "queries/s", "batch", "p50", "p99", "staleness", "quant")
 	for _, name := range fl.Tenants() {
 		st, _ := fl.TenantStats(name)
-		fmt.Printf("  %-10s %12.0f %8.1f %12v %12v %10d\n",
-			name, st.QPS, st.MeanBatch, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond), st.Staleness)
+		quant := "float"
+		if st.QuantQueries > 0 {
+			// int8-served lookups and the share re-run on the float
+			// program because quantization error could have flipped the
+			// UQ accept/reject decision.
+			quant = fmt.Sprintf("%.1f%% fb", 100*float64(st.QuantFallbacks)/float64(st.QuantQueries))
+		}
+		fmt.Printf("  %-10s %12.0f %8.1f %12v %12v %10d %10s\n",
+			name, st.QPS, st.MeanBatch, st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond), st.Staleness, quant)
 	}
 
 	fmt.Println("\nPhase 3: the epi oracle drifts — ingested residuals trip an adaptive refit")

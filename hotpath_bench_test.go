@@ -245,6 +245,79 @@ func BenchmarkCompiledForward(b *testing.B) {
 	})
 }
 
+// BenchmarkQuantizedForward pins the int8 quantized single-query forward
+// on the same 6-30-48-3 autotuning net as BenchmarkCompiledForward. The
+// quantized program packs each dense panel into 7-bit SWAR words and runs
+// the whole hidden stack in integer arithmetic with a fused
+// dequant+activation+requant epilogue, so it must run at 0 allocs/op and
+// ≥1.5× faster than the float compiled path (gated by bench_diff in CI).
+func BenchmarkQuantizedForward(b *testing.B) {
+	rng := xrand.New(0xf00d)
+	net := nn.NewMLP(xrand.New(1), nn.Tanh, 0.1, 6, 30, 48, 3)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.Range(-1, 1)
+	}
+	calib := tensor.NewMatrix(32, 6)
+	for i := range calib.Data {
+		calib.Data[i] = rng.Range(-1, 1)
+	}
+	q := net.Compile().Quantize(calib)
+	if q == nil {
+		b.Fatal("net did not quantize")
+	}
+	dst := make([]float64, 3)
+	if _, ok := q.Predict(x, dst); !ok {
+		b.Fatal("benchmark input clipped the calibration envelope")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Predict(x, dst)
+	}
+}
+
+// BenchmarkQuantizedQueryBatch serves the same 64-query batch as
+// BenchmarkQueryBatch through a Quantized wrapper: the int8 batch program
+// answers every row, the UQ-vs-quant-error guardrail re-checks each
+// decision, and a warmed iteration performs zero heap allocations.
+func BenchmarkQuantizedQueryBatch(b *testing.B) {
+	rng := xrand.New(0x5e4e)
+	oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{math.Sin(x[0]) + 0.5*x[1]}, nil
+	}}
+	sur := core.NewNNSurrogate(2, 1, []int{24}, 0.1, rng)
+	sur.Epochs = 100
+	sur.MCPasses = 10
+	w := core.NewWrapper(oracle, sur, core.WrapperConfig{
+		MinTrainSamples: 10, UQThreshold: 10, Quantized: true,
+	})
+	design := tensor.NewMatrix(100, 2)
+	for i := 0; i < 100; i++ {
+		design.Set(i, 0, rng.Range(-2, 2))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		b.Fatal(err)
+	}
+	batch := benchBatch(64)
+	res := make([]core.BatchResult, batch.Rows)
+	if err := w.QueryBatchInto(batch, res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.QueryBatchInto(batch, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "queries/s")
+	q, f := w.QuantStats()
+	b.ReportMetric(float64(f)/float64(q), "fallback-rate")
+}
+
 // BenchmarkCompiledBatch pins the fused batch program against the
 // interpreted Predictor batch pass on the paper's 6-30-48-3 autotuning
 // net at a 64-row batch: the compiled side must run at 0 allocs/op and at
@@ -352,7 +425,7 @@ func BenchmarkMatMulParallelSlope(b *testing.B) {
 			if fanout {
 				tensor.ParallelWorkers, tensor.ParallelFlopThreshold = workers, 1
 			} else {
-				tensor.ParallelWorkers, tensor.ParallelFlopThreshold = 1, 1 << 60
+				tensor.ParallelWorkers, tensor.ParallelFlopThreshold = 1, 1<<60
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -10,7 +10,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nn"
@@ -76,6 +78,45 @@ type BatchSurrogateInto interface {
 	PredictBatchWithUQInto(x, mean, std *tensor.Matrix)
 }
 
+// QuantCapable is the optional Surrogate face the wrappers' quantization
+// knob drives: enabling it asks the surrogate to derive an int8 program
+// on every (re)fit. A surrogate that cannot quantize simply doesn't
+// implement this and the knob is a no-op.
+type QuantCapable interface {
+	// SetQuantize toggles quantized program compilation on future Trains.
+	SetQuantize(on bool)
+}
+
+// QuantServing is the optional Surrogate face the wrappers' quantized
+// serving path uses. The contract mirrors the paper's bet: approximate
+// answers are fine exactly when UQ says the decision is clear-cut, so a
+// quantized lookup must expose how large its approximation error can be
+// (QuantGateBound) and flag inputs outside its calibrated envelope (the
+// ok return) so the caller can re-decide on the retained float program.
+type QuantServing interface {
+	// QuantizedReady reports whether a quantized program is compiled and
+	// calibrated (false e.g. for architectures that cannot quantize —
+	// callers then serve the float path as usual).
+	QuantizedReady() bool
+	// QuantGateBound returns the guardrail half-width in target units:
+	// a UQ decision landing within this distance of its threshold could
+	// be flipped by the quantization delta.
+	QuantGateBound() float64
+	// PredictWithUQQuant is PredictWithUQ on the quantized program.
+	// ok=false means the input left the calibrated envelope and the
+	// result should not be trusted against the error bound.
+	PredictWithUQQuant(x []float64) (mean, std []float64, ok bool)
+}
+
+// BatchQuantServing is QuantServing for the zero-alloc batch loop.
+type BatchQuantServing interface {
+	QuantServing
+	// PredictBatchWithUQQuantInto is PredictBatchWithUQInto on the
+	// quantized program; ok (len x.Rows) receives per-row envelope
+	// verdicts.
+	PredictBatchWithUQQuantInto(x, mean, std *tensor.Matrix, ok []bool)
+}
+
 // NNSurrogate is the reference Surrogate: a dropout MLP trained on
 // standardized features/targets, with MC-dropout UQ.
 type NNSurrogate struct {
@@ -95,15 +136,23 @@ type NNSurrogate struct {
 	Epochs    int
 	BatchSize int
 	LR        float64
+	// Quantize asks Train to additionally derive an int8 quantized
+	// program from the compiled float program, calibrated against a
+	// held-out slice of the training window. The float program is always
+	// retained — it is both the refit baseline and the guardrail
+	// fallback the quantized serving path re-runs boundary decisions on.
+	Quantize bool
 
-	rng      *xrand.Rand
-	inDim    int
-	outDim   int
-	net      *nn.Network
-	compiled *nn.Compiled // fused inference program, rebuilt by Train
-	xScaler  *nn.Scaler
-	yScaler  *nn.Scaler
-	trained  bool
+	rng       *xrand.Rand
+	inDim     int
+	outDim    int
+	net       *nn.Network
+	compiled  *nn.Compiled      // fused inference program, rebuilt by Train
+	qcompiled *nn.QuantCompiled // int8 program (Quantize mode), rebuilt by Train
+	qgate     float64           // quant guardrail half-width, target units
+	xScaler   *nn.Scaler
+	yScaler   *nn.Scaler
+	trained   bool
 
 	inPool    sync.Pool // *[]float64 scaled-input staging, len inDim
 	stagePool sync.Pool // *tensor.Matrix scaled-batch staging
@@ -193,8 +242,105 @@ func (s *NNSurrogate) Train(x, y *tensor.Matrix) error {
 	// run its chunked batch form (nil means an uncompilable architecture;
 	// the flexible path below then serves).
 	s.compiled = s.net.CompileBatch(s.batchWidth())
+	s.qcompiled = nil
+	s.qgate = 0
+	if s.Quantize && s.compiled != nil {
+		// Calibrate against a held-out tail of the training window: the
+		// most recent quarter (capped at 256 rows) fixes the input
+		// envelope and measures the realistic quantization error that
+		// sizes the serving guardrail band.
+		n := xs.Rows / 4
+		if n < 1 {
+			n = 1
+		}
+		if n > 256 {
+			n = 256
+		}
+		calib := xs.SliceRows(xs.Rows-n, xs.Rows)
+		s.qcompiled = s.compiled.Quantize(calib)
+		if s.qcompiled != nil {
+			g := 0.0
+			for j := 0; j < s.outDim; j++ {
+				if b := s.yScaler.InverseScale(j, s.qcompiled.GateBound()); b > g {
+					g = b
+				}
+			}
+			s.qgate = g
+		}
+	}
 	s.trained = true
 	return nil
+}
+
+// SetQuantize implements QuantCapable: the next Train derives (or stops
+// deriving) the int8 program.
+func (s *NNSurrogate) SetQuantize(on bool) { s.Quantize = on }
+
+// QuantizedReady implements QuantServing.
+func (s *NNSurrogate) QuantizedReady() bool { return s.trained && s.qcompiled != nil }
+
+// QuantGateBound implements QuantServing: the guardrail half-width in
+// target units, min(guaranteed bound, 8× calibrated error) mapped
+// through the target scaler.
+func (s *NNSurrogate) QuantGateBound() float64 { return s.qgate }
+
+// QuantErrorBound returns the guaranteed worst-case |quantized − float|
+// output delta in target units for in-envelope inputs (0 when no
+// quantized program is compiled).
+func (s *NNSurrogate) QuantErrorBound() float64 {
+	if s.qcompiled == nil {
+		return 0
+	}
+	b := 0.0
+	for j := 0; j < s.outDim; j++ {
+		if v := s.yScaler.InverseScale(j, s.qcompiled.ErrorBound()); v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// PredictWithUQQuant implements QuantServing: PredictWithUQ served from
+// the int8 program. When no quantized program is available it degrades
+// to the float path (ok=true — the float answer is exact). Allocation
+// profile matches PredictWithUQ: one result allocation per call.
+func (s *NNSurrogate) PredictWithUQQuant(x []float64) (mean, std []float64, ok bool) {
+	s.mustBeTrained()
+	q := s.qcompiled
+	if q == nil {
+		mean, std = s.PredictWithUQ(x)
+		return mean, std, true
+	}
+	res := make([]float64, 2*s.outDim)
+	mean, std = res[:s.outDim:s.outDim], res[s.outDim:]
+	in := s.getIn()
+	s.xScaler.TransformVecInto(*in, x)
+	_, _, ok = q.PredictMC(*in, s.MCPasses, mean, std)
+	s.putIn(in)
+	for j := 0; j < s.outDim; j++ {
+		mean[j] = mean[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
+		std[j] = s.yScaler.InverseScale(j, std[j])
+	}
+	return mean, std, ok
+}
+
+// PredictBatchWithUQQuantInto implements BatchQuantServing: the batched
+// MC-dropout pass on the int8 program, with per-row envelope verdicts
+// in ok. A warmed call with caller-provided buffers allocates nothing.
+func (s *NNSurrogate) PredictBatchWithUQQuantInto(x, mean, std *tensor.Matrix, ok []bool) {
+	s.mustBeTrained()
+	q := s.qcompiled
+	if q == nil {
+		s.PredictBatchWithUQInto(x, mean, std)
+		for i := range ok {
+			ok[i] = true
+		}
+		return
+	}
+	xs := s.getStage(x)
+	q.PredictMCBatch(xs, s.MCPasses, mean, std, ok)
+	s.putStage(xs)
+	s.unscaleRows(mean, std)
 }
 
 // Predict implements Surrogate. When the network compiled, the forward
@@ -341,6 +487,16 @@ type WrapperConfig struct {
 	// instead of O(total history). The zero value retains everything.
 	// A bounded window is raised to at least MinTrainSamples.
 	Retention Retention
+	// Quantized serves surrogate lookups from the int8 quantized program
+	// when the surrogate provides one (NNSurrogate with bounded hidden
+	// activations). Lookups whose UQ decision lands within the
+	// surrogate's QuantGateBound of UQThreshold — where the quantization
+	// delta could flip accept into reject or vice versa — and lookups
+	// whose input left the calibrated envelope are transparently re-run
+	// on the retained float program and counted (QuantStats), so the
+	// speedup never silently degrades the gate. The knob also calls
+	// SetQuantize(true) on QuantCapable surrogates at construction.
+	Quantized bool
 }
 
 // Wrapper is the MLaroundHPC runtime: it answers Query calls from the
@@ -366,6 +522,9 @@ type Wrapper struct {
 
 	scratch sync.Pool // *batchScratch for QueryBatchInto
 
+	quantQueries   atomic.Uint64 // lookups served through the quantized program
+	quantFallbacks atomic.Uint64 // of those, re-runs on the float program
+
 	ledgerBox // ledger lock is always acquired after mu
 }
 
@@ -375,6 +534,16 @@ type Wrapper struct {
 type batchScratch struct {
 	miss      []int
 	mean, std *tensor.Matrix
+	oks       []bool // per-row quantization envelope verdicts
+}
+
+// okBuf returns the scratch ok slice sized to rows, growing on demand.
+func (sc *batchScratch) okBuf(rows int) []bool {
+	if cap(sc.oks) < rows {
+		sc.oks = make([]bool, rows)
+	}
+	sc.oks = sc.oks[:rows]
+	return sc.oks
 }
 
 // mats returns the scratch mean/std matrices reshaped to rows x out,
@@ -397,6 +566,11 @@ func NewWrapper(oracle Oracle, surrogate Surrogate, cfg WrapperConfig) *Wrapper 
 		cfg.MinTrainSamples = 50
 	}
 	cfg.Retention = clampRetention(cfg.Retention, cfg.MinTrainSamples)
+	if cfg.Quantized {
+		if qc, ok := surrogate.(QuantCapable); ok {
+			qc.SetQuantize(true)
+		}
+	}
 	in, out := oracle.Dims()
 	return &Wrapper{
 		oracle: oracle, surrogate: surrogate, cfg: cfg,
@@ -455,6 +629,18 @@ func (w *Wrapper) tryLookup(x []float64) (mean, sd []float64, ok bool) {
 		return nil, nil, false
 	}
 	t0 := time.Now()
+	if w.cfg.Quantized {
+		if qs, isQ := w.surrogate.(QuantServing); isQ && qs.QuantizedReady() {
+			mean, sd = w.quantLookup(qs, x)
+			dt := time.Since(t0)
+			if maxOf(sd) <= w.cfg.UQThreshold {
+				w.recordLookup(dt)
+				return mean, sd, true
+			}
+			w.recordRejectedLookup(dt)
+			return nil, nil, false
+		}
+	}
 	mean, sd = w.surrogate.PredictWithUQ(x)
 	dt := time.Since(t0)
 	if maxOf(sd) <= w.cfg.UQThreshold {
@@ -464,6 +650,53 @@ func (w *Wrapper) tryLookup(x []float64) (mean, sd []float64, ok bool) {
 	// Gate failed: the lookup time is charged as overhead.
 	w.recordRejectedLookup(dt)
 	return nil, nil, false
+}
+
+// quantLookup serves one UQ lookup from the quantized program with the
+// float-fallback guardrail; see quantLookupOne.
+func (w *Wrapper) quantLookup(qs QuantServing, x []float64) (mean, sd []float64) {
+	return quantLookupOne(qs, w.surrogate, x, w.cfg.UQThreshold, &w.quantQueries, &w.quantFallbacks)
+}
+
+// quantLookupOne serves one UQ lookup from a quantized program with the
+// float-fallback guardrail: when the input clipped against the
+// calibrated envelope, or the gating std lands within the quant error
+// band of the threshold (the quantization delta could flip the
+// accept/reject decision), the query re-runs on the retained float
+// program and that answer decides. Both wrappers share this loop.
+func quantLookupOne(qs QuantServing, sur Surrogate, x []float64, threshold float64, queries, fallbacks *atomic.Uint64) (mean, sd []float64) {
+	mean, sd, inRange := qs.PredictWithUQQuant(x)
+	queries.Add(1)
+	if !inRange || math.Abs(maxOf(sd)-threshold) <= qs.QuantGateBound() {
+		fallbacks.Add(1)
+		mean, sd = sur.PredictWithUQ(x)
+	}
+	return mean, sd
+}
+
+// quantGuardBatch applies the guardrail to a quantized batch answer:
+// rows whose input clipped (ok=false) or whose gating std lands within
+// band of the threshold are re-run on the float program, overwriting
+// their mean/std rows in place, so the subsequent gate loop decides on
+// exact numbers. xs rows align with answer rows.
+func quantGuardBatch(sur Surrogate, xs *tensor.Matrix, mean, std *tensor.Matrix, oks []bool, threshold, band float64, fallbacks *atomic.Uint64) {
+	for k := 0; k < mean.Rows; k++ {
+		sd := std.Row(k)
+		if !oks[k] || math.Abs(maxOf(sd)-threshold) <= band {
+			fallbacks.Add(1)
+			fm, fsd := sur.PredictWithUQ(xs.Row(k))
+			copy(mean.Row(k), fm)
+			copy(sd, fsd)
+		}
+	}
+}
+
+// QuantStats reports how many surrogate lookups were served through the
+// quantized program and how many of those fell back to a float re-run
+// (boundary decisions plus out-of-envelope inputs). Zero/zero unless
+// the wrapper runs with Quantized set and a quant-capable surrogate.
+func (w *Wrapper) QuantStats() (queries, fallbacks uint64) {
+	return w.quantQueries.Load(), w.quantFallbacks.Load()
 }
 
 // BatchResult is the answer to one row of a QueryBatch call.
@@ -584,6 +817,26 @@ func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult, sc *batchScr
 	miss := sc.miss[:0]
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if w.cfg.Quantized && w.surrogate.Trained() {
+		if bq, isBQ := w.surrogate.(BatchQuantServing); isBQ && bq.QuantizedReady() {
+			// Quantized batch path: one int8 MC pass over the batch, then
+			// the guardrail re-runs boundary/out-of-envelope rows on the
+			// float program before the shared gate loop decides.
+			_, out := w.Dims()
+			mean, std := sc.mats(xs.Rows, out)
+			oks := sc.okBuf(xs.Rows)
+			t0 := time.Now()
+			bq.PredictBatchWithUQQuantInto(xs, mean, std, oks)
+			w.quantQueries.Add(uint64(xs.Rows))
+			quantGuardBatch(w.surrogate, xs, mean, std, oks, w.cfg.UQThreshold, bq.QuantGateBound(), &w.quantFallbacks)
+			per := time.Since(t0) / time.Duration(xs.Rows)
+			var served, rejected int
+			miss, served, rejected = gateBatchRows(res, miss, nil, mean, std, w.cfg.UQThreshold, true)
+			w.recordBatchLookups(per, served, rejected)
+			sc.miss = miss
+			return miss
+		}
+	}
 	bsi, isInto := w.surrogate.(BatchSurrogateInto)
 	bs, isBatch := w.surrogate.(BatchSurrogate)
 	switch {

@@ -200,6 +200,12 @@ type ShardedConfig struct {
 	// DriftAlpha is the residual-EWMA smoothing factor in (0, 1]
 	// (default 0.1).
 	DriftAlpha float64
+	// Quantized serves every shard from its surrogate's int8 quantized
+	// program when available, with the same UQ-gated float fallback and
+	// QuantStats counters as WrapperConfig.Quantized. The knob wraps the
+	// factory so each produced surrogate (including every
+	// recompile-on-publish refit generation) quantizes on Train.
+	Quantized bool
 }
 
 // driftBaselineRows caps how many snapshot rows the publish-time
@@ -366,6 +372,9 @@ type ShardedWrapper struct {
 
 	scratch sync.Pool // *shardScratch for QueryBatchInto
 
+	quantQueries   atomic.Uint64 // lookups served through quantized programs
+	quantFallbacks atomic.Uint64 // of those, re-runs on the float program
+
 	ledgerBox
 }
 
@@ -393,6 +402,19 @@ func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfi
 		cfg.DriftAlpha = 0.1
 	}
 	cfg.Retention = clampRetention(cfg.Retention, cfg.MinTrainSamples)
+	if cfg.Quantized {
+		// Every factory product — including each refit generation a shard
+		// publishes — compiles its quantized program on Train, so the
+		// published model always serves the int8 form.
+		inner := factory
+		factory = func() Surrogate {
+			s := inner()
+			if qc, ok := s.(QuantCapable); ok {
+				qc.SetQuantize(true)
+			}
+			return s
+		}
+	}
 	in, out := oracle.Dims()
 	w := &ShardedWrapper{
 		oracle: oracle, factory: factory, router: cfg.Router, cfg: cfg,
@@ -470,6 +492,19 @@ func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, o
 		return nil, nil, false
 	}
 	sur := *surp
+	if w.cfg.Quantized {
+		if qs, isQ := sur.(QuantServing); isQ && qs.QuantizedReady() {
+			t0 := time.Now()
+			mean, sd = quantLookupOne(qs, sur, x, w.cfg.UQThreshold, &w.quantQueries, &w.quantFallbacks)
+			dt := time.Since(t0)
+			if maxOf(sd) <= w.cfg.UQThreshold {
+				w.recordLookup(dt)
+				return mean, sd, true
+			}
+			w.recordRejectedLookup(dt)
+			return nil, nil, false
+		}
+	}
 	t0 := time.Now()
 	mean, sd = sur.PredictWithUQ(x)
 	dt := time.Since(t0)
@@ -479,6 +514,14 @@ func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, o
 	}
 	w.recordRejectedLookup(dt)
 	return nil, nil, false
+}
+
+// QuantStats reports how many lookups across all shards were served through
+// quantized programs and how many of those re-ran on the retained float
+// program because the UQ gate decision sat inside the quantization error
+// band (or the input clipped the int8 envelope).
+func (w *ShardedWrapper) QuantStats() (queries, fallbacks uint64) {
+	return w.quantQueries.Load(), w.quantFallbacks.Load()
 }
 
 // shardScratch pools the per-call working state of one sharded
@@ -556,6 +599,22 @@ func (w *ShardedWrapper) QueryBatchInto(xs *tensor.Matrix, res []BatchResult) er
 			continue
 		}
 		sur := *surp
+		if w.cfg.Quantized {
+			if bq, isQ := sur.(BatchQuantServing); isQ && bq.QuantizedReady() {
+				sc.sub = tensor.GatherRowsInto(sc.sub, xs, idx)
+				mean, std := sc.mats(len(idx), w.out)
+				oks := sc.okBuf(len(idx))
+				t0 := time.Now()
+				bq.PredictBatchWithUQQuantInto(sc.sub, mean, std, oks)
+				w.quantQueries.Add(uint64(len(idx)))
+				quantGuardBatch(sur, sc.sub, mean, std, oks, w.cfg.UQThreshold, bq.QuantGateBound(), &w.quantFallbacks)
+				per := time.Since(t0) / time.Duration(len(idx))
+				var served, rejected int
+				miss, served, rejected = gateBatchRows(res, miss, idx, mean, std, w.cfg.UQThreshold, true)
+				w.recordBatchLookups(per, served, rejected)
+				continue
+			}
+		}
 		if bsi, isInto := sur.(BatchSurrogateInto); isInto {
 			sc.sub = tensor.GatherRowsInto(sc.sub, xs, idx)
 			mean, std := sc.mats(len(idx), w.out)

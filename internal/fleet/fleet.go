@@ -337,12 +337,24 @@ type TenantStats struct {
 	// has absorbed, summed across the backend's shards, for backends that
 	// report per-shard status (core.ShardedWrapper); -1 otherwise.
 	Staleness int
+	// QuantQueries counts lookups the backend served through int8
+	// quantized programs, and QuantFallbacks the subset re-run on the
+	// retained float program because the UQ decision sat inside the
+	// quantization error band (or the input clipped the int8 envelope).
+	// Both stay zero for backends without quantized serving.
+	QuantQueries, QuantFallbacks uint64
 }
 
 // statuser is the optional backend face that exposes per-shard refit
 // staleness (core.ShardedWrapper implements it).
 type statuser interface {
 	Status() []core.ShardStatus
+}
+
+// quantStatser is the optional backend face that exposes quantized-serving
+// counters (core.Wrapper and core.ShardedWrapper implement it).
+type quantStatser interface {
+	QuantStats() (queries, fallbacks uint64)
 }
 
 // snapshot assembles the tenant's stats.
@@ -362,6 +374,9 @@ func (t *tenant) snapshot() TenantStats {
 		for _, sh := range s.Status() {
 			st.Staleness += sh.Stale
 		}
+	}
+	if q, ok := t.backend.(quantStatser); ok {
+		st.QuantQueries, st.QuantFallbacks = q.QuantStats()
 	}
 	// QPS over the window since the previous snapshot.
 	t.statsMu.Lock()

@@ -417,3 +417,61 @@ func TestFleetAgainstWrapper(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestFleetQuantStats checks a quantized-serving backend's counters
+// surface in the tenant snapshot, and that plain backends report zero.
+func TestFleetQuantStats(t *testing.T) {
+	rng := xrand.New(0xf1e32)
+	oracle := core.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{x[0]*x[0] - x[1]}, nil
+	}}
+	sur := core.NewNNSurrogate(2, 1, []int{16}, 0, rng)
+	sur.Epochs = 40
+	sur.MCPasses = 4
+	w := core.NewWrapper(oracle, sur, core.WrapperConfig{
+		MinTrainSamples: 10, UQThreshold: 100, Quantized: true,
+	})
+	design := tensor.NewMatrix(40, 2)
+	for i := 0; i < design.Rows; i++ {
+		design.Set(i, 0, rng.Range(-1, 1))
+		design.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := w.Pretrain(design); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{})
+	defer f.Close()
+	if err := f.Register("q", w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Register("plain", &fakeBackend{scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Range(-1, 1), rng.Range(-1, 1)}
+		if _, err := f.Query("q", x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Query("plain", x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := f.TenantStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QuantQueries != n {
+		t.Fatalf("tenant q quant queries = %d, want %d", st.QuantQueries, n)
+	}
+	if st.QuantFallbacks != 0 {
+		t.Fatalf("tenant q quant fallbacks = %d, want 0 under a wide-open gate", st.QuantFallbacks)
+	}
+	ps, err := f.TenantStats("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.QuantQueries != 0 || ps.QuantFallbacks != 0 {
+		t.Fatalf("plain tenant reported quant stats (%d, %d), want zeros", ps.QuantQueries, ps.QuantFallbacks)
+	}
+}

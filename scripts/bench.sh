@@ -15,17 +15,20 @@ if [[ -z "$out" ]]; then
   out="BENCH_${n}.json"
 fi
 
-benches='BenchmarkTrainEpoch$|BenchmarkDenseForwardBackward|BenchmarkQueryBatch$|BenchmarkQueryLoop|BenchmarkQueryDuringRetrain|BenchmarkOracleFanout|BenchmarkCompiledForward|BenchmarkCompiledBatch|BenchmarkDeepUQ|BenchmarkMatMulParallelSlope|BenchmarkCoalescedQPS|BenchmarkFleetQPS'
+benches='BenchmarkTrainEpoch$|BenchmarkDenseForwardBackward|BenchmarkQueryBatch$|BenchmarkQueryLoop|BenchmarkQueryDuringRetrain|BenchmarkOracleFanout|BenchmarkCompiledForward|BenchmarkCompiledBatch|BenchmarkQuantizedForward|BenchmarkQuantizedQueryBatch|BenchmarkDeepUQ|BenchmarkMatMulParallelSlope|BenchmarkCoalescedQPS|BenchmarkFleetQPS'
 raw=$(go test -run=NONE -bench="$benches" -benchtime=1s -count=1 .)
 echo "$raw"
 
 # The machine shape is recorded alongside the numbers: the matmul fan-out
 # slope (BenchmarkMatMulParallelSlope) is only meaningful relative to the
 # core count it ran on, so snapshots from a 1-core container and a real
-# multi-core box are distinguishable.
-gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)}"
+# multi-core box are distinguishable. _meta gets the online CPU count and
+# the full slope sweep so a reader can retune tensor.ParallelFlopThreshold
+# (see README "Retuning the matmul fan-out threshold") without re-running.
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
+gomaxprocs="${GOMAXPROCS:-$cpus}"
 
-echo "$raw" | awk -v out="$out" -v gomaxprocs="$gomaxprocs" '
+echo "$raw" | awk -v out="$out" -v gomaxprocs="$gomaxprocs" -v cpus="$cpus" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -38,6 +41,11 @@ echo "$raw" | awk -v out="$out" -v gomaxprocs="$gomaxprocs" '
       if ($(i + 1) == "p99-ns") p99 = $i
     }
     if (ns != "") {
+      if (name ~ /^BenchmarkMatMulParallelSlope\//) {
+        sub(/^BenchmarkMatMulParallelSlope\//, "", name)
+        slopes[++m] = sprintf("\"%s\": %s", name, ns)
+        next
+      }
       entry = sprintf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
         name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
       if (p50 != "") entry = entry sprintf(", \"p50_ns\": %s, \"p99_ns\": %s", p50, p99)
@@ -45,8 +53,10 @@ echo "$raw" | awk -v out="$out" -v gomaxprocs="$gomaxprocs" '
     }
   }
   END {
+    slope = ""
+    for (i = 1; i <= m; i++) slope = slope (i > 1 ? ", " : "") slopes[i]
     printf "{\n" > out
-    printf "  \"_meta\": {\"gomaxprocs\": %s},\n", gomaxprocs > out
+    printf "  \"_meta\": {\"gomaxprocs\": %s, \"cpus\": %s, \"parallel_slope_ns\": {%s}},\n", gomaxprocs, cpus, slope > out
     for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "") > out
     printf "}\n" > out
   }

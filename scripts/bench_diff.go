@@ -16,7 +16,12 @@
 // constraint, "substr:allocs=N": every matching entry must then report
 // exactly N allocs/op, which is how zero-allocation contracts (the
 // compiled-batch serving path) are enforced in CI rather than just
-// claimed in a commit message. -ignore exempts name substrings from the
+// claimed in a commit message. It may instead carry a speedup
+// constraint, "substr:faster=REF@RATIO": every matching entry must run
+// at least RATIO× faster than the exactly-named REF benchmark of the
+// same snapshot (ref ns/op ÷ entry ns/op ≥ RATIO), which is how
+// relative perf claims (the int8 quantized forward versus the float
+// compiled forward) are enforced. -ignore exempts name substrings from the
 // ns/op tolerance (still printed, marked "noise"): it exists for
 // deliberately stalling negative baselines — e.g. the locked wrapper
 // under retrain, whose ns/op is bimodal run to run depending on how many
@@ -174,23 +179,41 @@ func main() {
 			if want == "" {
 				continue
 			}
-			// "substr" or "substr:allocs=N".
+			// "substr", "substr:allocs=N" or "substr:faster=REF@RATIO".
 			substr, wantAllocs := want, -1.0
+			fasterRef, fasterRatio := "", 0.0
 			if cut := strings.Index(want, ":"); cut >= 0 {
 				substr = want[:cut]
 				cons := want[cut+1:]
-				if !strings.HasPrefix(cons, "allocs=") {
+				switch {
+				case strings.HasPrefix(cons, "allocs="):
+					v, err := strconv.ParseFloat(strings.TrimPrefix(cons, "allocs="), 64)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "bench_diff: bad allocs constraint in %q: %v\n", want, err)
+						failed++
+						continue
+					}
+					wantAllocs = v
+				case strings.HasPrefix(cons, "faster="):
+					spec := strings.TrimPrefix(cons, "faster=")
+					at := strings.LastIndex(spec, "@")
+					if at < 0 {
+						fmt.Fprintf(os.Stderr, "bench_diff: faster constraint in %q wants REF@RATIO\n", want)
+						failed++
+						continue
+					}
+					v, err := strconv.ParseFloat(spec[at+1:], 64)
+					if err != nil || v <= 0 {
+						fmt.Fprintf(os.Stderr, "bench_diff: bad faster ratio in %q: %v\n", want, err)
+						failed++
+						continue
+					}
+					fasterRef, fasterRatio = spec[:at], v
+				default:
 					fmt.Fprintf(os.Stderr, "bench_diff: unknown constraint %q in requirement %q\n", cons, want)
 					failed++
 					continue
 				}
-				v, err := strconv.ParseFloat(strings.TrimPrefix(cons, "allocs="), 64)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "bench_diff: bad allocs constraint in %q: %v\n", want, err)
-					failed++
-					continue
-				}
-				wantAllocs = v
 			}
 			found := false
 			for name, entry := range newSnap {
@@ -198,16 +221,27 @@ func main() {
 					continue
 				}
 				found = true
-				if wantAllocs < 0 {
-					continue
+				if wantAllocs >= 0 {
+					if entry.AllocsPerOp == nil {
+						fmt.Fprintf(os.Stderr, "bench_diff: %s matches %q but reports no allocs/op\n", name, want)
+						failed++
+					} else if *entry.AllocsPerOp != wantAllocs {
+						fmt.Fprintf(os.Stderr, "bench_diff: %s reports %g allocs/op, requirement %q wants %g\n",
+							name, *entry.AllocsPerOp, want, wantAllocs)
+						failed++
+					}
 				}
-				if entry.AllocsPerOp == nil {
-					fmt.Fprintf(os.Stderr, "bench_diff: %s matches %q but reports no allocs/op\n", name, want)
-					failed++
-				} else if *entry.AllocsPerOp != wantAllocs {
-					fmt.Fprintf(os.Stderr, "bench_diff: %s reports %g allocs/op, requirement %q wants %g\n",
-						name, *entry.AllocsPerOp, want, wantAllocs)
-					failed++
+				if fasterRef != "" {
+					ref, ok := newSnap[fasterRef]
+					if !ok || ref.NsPerOp <= 0 {
+						fmt.Fprintf(os.Stderr, "bench_diff: requirement %q: reference benchmark %q missing from %s\n",
+							want, fasterRef, newPath)
+						failed++
+					} else if speedup := ref.NsPerOp / entry.NsPerOp; speedup < fasterRatio {
+						fmt.Fprintf(os.Stderr, "bench_diff: %s is %.2fx faster than %s, requirement %q wants %.2fx\n",
+							name, speedup, fasterRef, want, fasterRatio)
+						failed++
+					}
 				}
 			}
 			if !found {
