@@ -5,9 +5,14 @@
 //
 //	learnhpc [-scale=small|full] all
 //	learnhpc [-scale=small|full] e1 e4 e10
+//	learnhpc serve -addr 127.0.0.1:9090 -health 127.0.0.1:9091
+//	learnhpc loadtest -addr 127.0.0.1:9090 -qps 50000 -dur 10s
 //
 // Small scale finishes in seconds per experiment; full scale is the
-// documented reproduction configuration.
+// documented reproduction configuration. The serve subcommand puts a
+// demo fleet on the TCP wire protocol (with /healthz, /readyz and
+// /statsz endpoints); loadtest drives an open-loop QPS stream against
+// any wire address and prints the latency histogram.
 package main
 
 import (
@@ -31,6 +36,18 @@ func wrap[T fmt.Stringer](f func(experiments.Scale) (T, error)) func(experiments
 }
 
 func main() {
+	// The wire subcommands take their own flag sets; dispatch before the
+	// experiment driver's flags claim the command line.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "loadtest":
+			runLoadtest(os.Args[2:])
+			return
+		}
+	}
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
 	flag.Usage = usage
 	flag.Parse()
@@ -127,6 +144,10 @@ experiments:
   e9    tissue advection-diffusion short-circuit (paper §I, §II-B)
   e10   parallel computation models + heterogeneous scheduling (§III-A, §III-E)
   e11   multi-tenant serving fleet: one dispatch plane for every surrogate (§I)
+
+wire subcommands (their own flags; see learnhpc <cmd> -h):
+  serve     put a demo fleet on the TCP wire with health endpoints
+  loadtest  open-loop QPS generator + latency histogram against a wire address
 `)
 	flag.PrintDefaults()
 }

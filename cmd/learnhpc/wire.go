@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+// demoOracles are the analytic stand-ins the serve subcommand offers as
+// wire tenants: the same three workload shapes the fleet example uses.
+var demoOracles = map[string]func(x []float64) []float64{
+	"potential": func(x []float64) []float64 {
+		r := 0.6 + 0.5*(x[0]+1)
+		ir6 := math.Pow(r, -6)
+		return []float64{ir6*ir6 - ir6 + 0.1*x[1]}
+	},
+	"tissue": func(x []float64) []float64 {
+		return []float64{math.Exp(-2*math.Abs(x[0])) * math.Cos(3*x[1])}
+	},
+	"epi": func(x []float64) []float64 {
+		r0 := 1 + 1.5*(x[0]+1)
+		return []float64{math.Tanh(r0-1) * (0.5 + 0.4*x[1])}
+	},
+}
+
+// runServe is the `learnhpc serve` subcommand: pretrain one surrogate
+// per requested tenant, put the fleet on a TCP wire, expose the
+// health/readiness/stats endpoints, and drain cleanly on SIGINT/SIGTERM.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "wire listen address")
+	health := fs.String("health", "127.0.0.1:9091", "health/stats HTTP address (empty disables)")
+	tenants := fs.String("tenants", "potential,tissue,epi", "comma-separated demo tenants to register")
+	maxBatch := fs.Int("max-batch", 64, "per-tenant coalescer batch bound")
+	fs.Parse(args)
+
+	fl := repro.NewFleet(repro.FleetConfig{
+		Coalescer: repro.CoalescerConfig{MaxBatch: *maxBatch},
+	})
+	defer fl.Close()
+	rng := repro.NewRand(7)
+	for _, name := range strings.Split(*tenants, ",") {
+		name = strings.TrimSpace(name)
+		f, ok := demoOracles[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "learnhpc serve: unknown tenant %q (have: potential, tissue, epi)\n", name)
+			os.Exit(2)
+		}
+		oracle := repro.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) { return f(x), nil }}
+		fac := repro.NewNNSurrogateFactory(2, 1, []int{32}, 0.1, rng, func(s *repro.NNSurrogate) {
+			s.Epochs = 120
+			s.MCPasses = 8
+		})
+		w := repro.NewShardedWrapper(oracle, fac, repro.ShardedConfig{
+			Router:          repro.HashRouter{Shards: 2},
+			MinTrainSamples: 40,
+			UQThreshold:     10, // serve from the surrogate; this is a wire demo
+		})
+		design := repro.NewMatrix(160, 2)
+		for i := 0; i < design.Rows; i++ {
+			design.Set(i, 0, rng.Range(-1, 1))
+			design.Set(i, 1, rng.Range(-1, 1))
+		}
+		if err := w.Pretrain(design); err != nil {
+			fmt.Fprintf(os.Stderr, "learnhpc serve: pretrain %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := fl.Register(name, w); err != nil {
+			fmt.Fprintf(os.Stderr, "learnhpc serve: register %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tenant %-10s pretrained and registered\n", name)
+	}
+
+	srv := repro.NewWireServer(repro.WireServerConfig{Fleet: fl})
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("wire: serving %v on %s\n", fl.Tenants(), *addr)
+
+	if *health != "" {
+		go func() {
+			h := &repro.WireHealth{Fleet: fl, Server: srv}
+			if err := http.ListenAndServe(*health, h); err != nil {
+				fmt.Fprintf(os.Stderr, "learnhpc serve: health endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("http: /healthz /readyz /statsz on %s\n", *health)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("\n%v: draining (in-flight requests get their responses)\n", s)
+		srv.Close()
+		st := srv.Stats()
+		fmt.Printf("served %d requests over %d connections (%d proto errors)\n",
+			st.Requests, st.Conns, st.ProtoErrors)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "learnhpc serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runLoadtest is the `learnhpc loadtest` subcommand: the open-loop QPS
+// generator with an HDR-style latency histogram, pointed at any
+// learnhpc-serve (or embedded WireServer) address.
+func runLoadtest(args []string) {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "wire server address")
+	tenants := fs.String("tenants", "potential,tissue,epi", "comma-separated tenants to spread load across")
+	in := fs.Int("in", 2, "tenant input dimensionality")
+	qps := fs.Float64("qps", 0, "target aggregate arrival rate (0 = closed loop)")
+	dur := fs.Duration("dur", 5*time.Second, "load duration")
+	conns := fs.Int("conns", 4, "connections to spread workers over")
+	workers := fs.Int("workers", 64, "in-flight window (bounds queueing)")
+	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = none)")
+	seed := fs.Uint64("seed", 1, "input randomization seed")
+	fs.Parse(args)
+
+	var names []string
+	for _, t := range strings.Split(*tenants, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			names = append(names, t)
+		}
+	}
+	rep, err := repro.RunWireLoad(repro.WireLoadConfig{
+		Addr:     *addr,
+		Tenants:  names,
+		In:       *in,
+		QPS:      *qps,
+		Duration: *dur,
+		Conns:    *conns,
+		Workers:  *workers,
+		Deadline: *deadline,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "learnhpc loadtest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	if rep.Errors > 0 || rep.Unknown > 0 {
+		os.Exit(1)
+	}
+}

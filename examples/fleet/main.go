@@ -7,13 +7,19 @@
 // behind its own micro-batch coalescer; all three coalescers draw on the
 // fleet's shared batch pool, admission is bounded per tenant, and the
 // per-tenant stats (QPS, batch width, p99, staleness) come from one
-// registry. A final phase deregisters a tenant mid-traffic: its
+// registry. A middle phase deregisters a tenant mid-traffic: its
 // in-flight queries drain gracefully while the neighbours keep serving.
+// The final phase puts the same fleet on a TCP wire (repro.WireServer):
+// remote clients speak the length-prefixed binary protocol, their frames
+// coalesce across connections into the same per-tenant batches, and
+// deadline/admission sheds come back as explicit statuses.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -221,4 +227,101 @@ func main() {
 	fmt.Printf("  tissue: %d queries bounced after graceful drain; potential served all %d\n",
 		tissueErrs.Load(), potServed.Load())
 	fmt.Printf("  remaining tenants: %v\n", fl.Tenants())
+
+	fmt.Println("\nPhase 5: the same fleet, served over the wire")
+	// One dispatch plane, now network-visible: the wire server decodes
+	// frames into pooled buffers and feeds the same per-tenant
+	// coalescers, so frames from different TCP connections gather into
+	// the same micro-batches the in-process callers used.
+	srv := repro.NewWireServer(repro.WireServerConfig{Fleet: fl})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// A fresh, stable tenant for the wire load: high UQThreshold keeps
+	// it on the surrogate path with no background refits, so the numbers
+	// below measure the wire and the coalescer, not training bursts
+	// stealing the core. (The phase-1 tenants stay registered — one
+	// /statsz scrape reports them all — but potential and epi are
+	// mid-churn by design and their refits would dominate the histogram.)
+	krng := repro.NewRand(99)
+	kOracle := repro.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+		return []float64{math.Exp(-x[0]*x[0]) * math.Sin(2*x[1])}, nil
+	}}
+	kFac := repro.NewNNSurrogateFactory(2, 1, []int{24}, 0.1, krng, func(s *repro.NNSurrogate) {
+		s.Epochs = 80
+		s.MCPasses = 6
+	})
+	kw := repro.NewShardedWrapper(kOracle, kFac, repro.ShardedConfig{
+		Router:          repro.HashRouter{Shards: 1},
+		MinTrainSamples: 40,
+		UQThreshold:     10,
+	})
+	kdesign := repro.NewMatrix(160, 2)
+	for i := 0; i < kdesign.Rows; i++ {
+		kdesign.Set(i, 0, rng.Range(-1, 1))
+		kdesign.Set(i, 1, rng.Range(-1, 1))
+	}
+	if err := kw.Pretrain(kdesign); err != nil {
+		panic(err)
+	}
+	if err := fl.Register("kernel", kw); err != nil {
+		panic(err)
+	}
+
+	cl, err := repro.DialWire(ln.Addr().String(), repro.WireClientConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+	res, err := cl.Query("potential", []float64{0.25, -0.5}, time.Time{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  remote query: potential(0.25,-0.5) = %.4f (src=%v)\n", res.Y[0], res.Src)
+	// A request whose deadline already passed is shed at admission with
+	// an explicit status — never silently dropped.
+	if _, err := cl.Query("potential", []float64{0, 0}, time.Now().Add(-time.Millisecond)); errors.Is(err, repro.ErrWireExpired) {
+		fmt.Println("  expired deadline: shed with ErrWireExpired before reaching the backend")
+	}
+
+	// Quiesce the earlier phases' background refits before measuring:
+	// on one core a training burst and a latency histogram cannot share
+	// the clock honestly.
+	for _, w := range backends {
+		if err := w.Wait(); err != nil {
+			panic(err)
+		}
+	}
+
+	rep, err := repro.RunWireLoad(repro.WireLoadConfig{
+		Addr:    ln.Addr().String(),
+		Tenants: []string{"kernel"},
+		In:      2,
+		// Open loop: requests are scheduled at this rate regardless of
+		// completions, so a slow server shows up as queueing latency,
+		// and slots the bounded in-flight window cannot carry are
+		// counted as overflow — never silently skipped.
+		QPS:      20000,
+		Duration: time.Second,
+		Conns:    4,
+		Workers:  32,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print("  ", rep.String())
+	ws := srv.Stats()
+	fmt.Printf("  wire: %d conns, %d requests over %d flushes (%.1f responses/syscall)\n",
+		ws.Conns, ws.Requests, ws.Flushes, float64(ws.Responses)/float64(max64(ws.Flushes, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

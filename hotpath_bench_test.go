@@ -673,6 +673,9 @@ func BenchmarkFleetQPS(b *testing.B) {
 			qps := float64(per*clients) / b.Elapsed().Seconds()
 			b.ReportMetric(qps, "queries/s")
 			b.ReportMetric(qps/float64(tenants), "queries/s/tenant")
+			if st, err := fl.TenantStats(names[0]); err == nil {
+				b.ReportMetric(st.MeanBatch, "mean-batch")
+			}
 		})
 	}
 }

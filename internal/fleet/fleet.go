@@ -21,9 +21,11 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,9 +45,27 @@ var (
 	ErrDuplicateTenant = errors.New("fleet: tenant already registered")
 	// ErrOverloaded is returned when a tenant's bounded in-flight
 	// admission window is full; the caller should back off (the bound is
-	// what keeps one hot tenant from monopolizing the process).
+	// what keeps one hot tenant from monopolizing the process). The
+	// concrete error is an *OverloadedError naming the shedding tenant;
+	// match with errors.Is(err, ErrOverloaded).
 	ErrOverloaded = errors.New("fleet: tenant over its in-flight bound")
 )
+
+// OverloadedError is the concrete admission-shed error: it names the
+// tenant whose in-flight window was full, so a multi-tenant front-end
+// (the wire layer) can report which tenant shed without string parsing.
+// It matches the ErrOverloaded sentinel through errors.Is, keeping every
+// pre-existing errors.Is(err, ErrOverloaded) check working.
+type OverloadedError struct {
+	Tenant string
+}
+
+func (e *OverloadedError) Error() string {
+	return "fleet: tenant " + strconv.Quote(e.Tenant) + " over its in-flight bound"
+}
+
+// Is reports sentinel equivalence with ErrOverloaded.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Config tunes a Fleet. The zero value selects the defaults.
 type Config struct {
@@ -89,9 +109,14 @@ type tenant struct {
 	backend serve.Backend
 	co      *serve.Coalescer
 	limit   int64
+	// overErr is the tenant's preallocated admission-shed error, so the
+	// shed path (which a saturated caller hits in a hot retry loop) stays
+	// allocation-free.
+	overErr *OverloadedError
 
 	inflight atomic.Int64
 	rejected atomic.Int64
+	expired  atomic.Int64
 	queries  atomic.Int64
 	panics   atomic.Int64
 
@@ -117,6 +142,19 @@ func (t *tenant) observe(d time.Duration) {
 	i := (t.latPos.Add(1) - 1) & uint64(len(t.lats)-1)
 	atomic.StoreInt64(&t.lats[i], int64(d))
 	t.queries.Add(1)
+}
+
+// observeN counts n completed queries against one shared latency sample —
+// the burst path's accounting: per-row clock reads would cost more than
+// the dispatch they measure, and a burst's rows genuinely share their
+// batch's latency.
+func (t *tenant) observeN(d time.Duration, n int64) {
+	if d <= 0 {
+		d = 1
+	}
+	i := (t.latPos.Add(1) - 1) & uint64(len(t.lats)-1)
+	atomic.StoreInt64(&t.lats[i], int64(d))
+	t.queries.Add(n)
 }
 
 // Fleet is the multi-tenant serving registry. All methods are safe for
@@ -163,6 +201,7 @@ func (f *Fleet) RegisterWithConfig(name string, backend serve.Backend, cfg serve
 		backend: backend,
 		co:      serve.NewCoalescer(backend, cfg),
 		limit:   int64(f.cfg.MaxInFlight),
+		overErr: &OverloadedError{Tenant: name},
 		lats:    make([]int64, f.cfg.LatencyWindow),
 		lastAt:  time.Now(),
 	}
@@ -245,7 +284,7 @@ func (f *Fleet) lookup(name string) *tenant {
 // caller-owned. A panicking tenant backend is contained: the panic
 // surfaces as this tenant's error, not a process crash.
 func (f *Fleet) Query(name string, x []float64) (serve.Result, error) {
-	return f.query(name, x, nil, nil)
+	return f.query(nil, name, x, nil, nil)
 }
 
 // QueryInto is the allocation-free form of Query: the answer is copied
@@ -253,12 +292,26 @@ func (f *Fleet) Query(name string, x []float64) (serve.Result, error) {
 // tenant's output dimensionality. A steady-state caller reusing its
 // buffers performs zero heap allocations per query.
 func (f *Fleet) QueryInto(name string, x, y, std []float64) (serve.Result, error) {
-	return f.query(name, x, y, std)
+	return f.query(nil, name, x, y, std)
 }
 
-// query is the shared dispatch path: tenant lookup, admission, coalesced
-// dispatch, stats. nil y selects caller-owned result copies.
-func (f *Fleet) query(name string, x, y, std []float64) (res serve.Result, err error) {
+// QueryCtx is QueryInto with deadline/cancellation propagation into
+// admission: a request whose context is already expired (or cancelled) is
+// shed immediately — before it is admitted or enqueued into the tenant's
+// coalescer — returning the context's error. This is the shed path a wire
+// front-end relies on: a frame that spent its deadline in a kernel buffer
+// must never occupy a coalescer slot just to produce an answer nobody is
+// waiting for. A nil ctx behaves exactly like QueryInto. The ctx is only
+// sampled at admission; an expiry mid-gather does not abandon the query
+// (its micro-batch is already paid for).
+func (f *Fleet) QueryCtx(ctx context.Context, name string, x, y, std []float64) (serve.Result, error) {
+	return f.query(ctx, name, x, y, std)
+}
+
+// query is the shared dispatch path: tenant lookup, deadline check,
+// admission, coalesced dispatch, stats. nil y selects caller-owned result
+// copies.
+func (f *Fleet) query(ctx context.Context, name string, x, y, std []float64) (res serve.Result, err error) {
 	t := f.lookup(name)
 	if t == nil {
 		f.mu.RLock()
@@ -269,13 +322,22 @@ func (f *Fleet) query(name string, x, y, std []float64) (res serve.Result, err e
 		}
 		return serve.Result{}, ErrUnknownTenant
 	}
+	// Deadline shed: an already-expired (or cancelled) request never
+	// reaches the coalescer — it is refused here, before admission, so
+	// the batch gather is never diluted by answers nobody will read.
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			t.expired.Add(1)
+			return serve.Result{}, cerr
+		}
+	}
 	// Admission: a bounded in-flight window per tenant. One hot tenant
 	// saturating its window sheds load fast instead of parking an
 	// unbounded caller pile-up on the shared machinery.
 	if t.inflight.Add(1) > t.limit {
 		t.inflight.Add(-1)
 		t.rejected.Add(1)
-		return serve.Result{}, ErrOverloaded
+		return serve.Result{}, t.overErr
 	}
 	t0 := time.Now()
 	defer func() {
@@ -313,6 +375,117 @@ func (f *Fleet) query(name string, x, y, std []float64) (res serve.Result, err e
 	return res, err
 }
 
+// QueryRows is the burst dispatch path: a contiguous run of rows for one
+// tenant — a wire read that drained several frames, a worker with a
+// backlog — submitted with a single tenant lookup, a single admission
+// round and one coalescer waiter instead of per-row machinery. deadlines
+// carries each row's absolute unix-nano deadline (0 = none); rows already
+// expired at admission are shed individually through the callback with
+// context.DeadlineExceeded, rows beyond the tenant's in-flight window are
+// shed with the tenant's *OverloadedError, and the survivors are enqueued
+// together. The callback runs once per row, in row order; its Result
+// slices alias pooled batch storage and are valid only inside the call. A
+// backend panic is contained exactly like Query: undelivered rows receive
+// the tenant's panic error.
+func (f *Fleet) QueryRows(name string, rows [][]float64, deadlines []int64, each func(i int, res serve.Result, err error)) error {
+	n := len(rows)
+	if n == 0 {
+		return nil
+	}
+	if deadlines != nil && len(deadlines) != n {
+		return fmt.Errorf("fleet: %d deadlines for %d rows", len(deadlines), n)
+	}
+	t := f.lookup(name)
+	if t == nil {
+		f.mu.RLock()
+		closed := f.closed
+		f.mu.RUnlock()
+		if closed {
+			return ErrClosed
+		}
+		return ErrUnknownTenant
+	}
+	// Deadline shed — one clock read for the whole burst.
+	live := rows
+	if deadlines != nil {
+		now := time.Now().UnixNano()
+		expired := 0
+		for _, dl := range deadlines {
+			if dl != 0 && dl <= now {
+				expired++
+			}
+		}
+		if expired > 0 {
+			t.expired.Add(int64(expired))
+			live = make([][]float64, 0, n-expired)
+			// Shed expired rows via the callback, keep the rest in order.
+			kept := make([]int, 0, n-expired)
+			for i, dl := range deadlines {
+				if dl != 0 && dl <= now {
+					each(i, serve.Result{}, context.DeadlineExceeded)
+					continue
+				}
+				live = append(live, rows[i])
+				kept = append(kept, i)
+			}
+			if len(live) == 0 {
+				return nil
+			}
+			inner := each
+			each = func(i int, res serve.Result, err error) { inner(kept[i], res, err) }
+		}
+	}
+	// Admission: the burst claims as many in-flight slots as it has live
+	// rows; overflow rows shed individually from the tail.
+	admit := int64(len(live))
+	if got := t.inflight.Add(admit); got > t.limit {
+		over := got - t.limit
+		if over > admit {
+			over = admit
+		}
+		t.inflight.Add(-over)
+		t.rejected.Add(over)
+		keep := int(admit - over)
+		for i := keep; i < len(live); i++ {
+			each(i, serve.Result{}, t.overErr)
+		}
+		if keep == 0 {
+			return nil
+		}
+		live = live[:keep]
+		admit = int64(keep)
+	}
+	t0 := time.Now()
+	delivered := 0
+	err := func() (err error) {
+		defer func() {
+			if pv := recover(); pv != nil {
+				t.panics.Add(1)
+				perr := fmt.Errorf("fleet: tenant %q backend panicked: %v", t.name, pv)
+				for i := delivered; i < len(live); i++ {
+					each(i, serve.Result{}, perr)
+				}
+			}
+			t.observeN(time.Since(t0), admit)
+			t.inflight.Add(-admit)
+		}()
+		return t.co.QueryRows(live, func(i int, res serve.Result, err error) {
+			delivered = i + 1
+			each(i, res, err)
+		})
+	}()
+	if errors.Is(err, serve.ErrClosed) {
+		f.mu.RLock()
+		closed := f.closed
+		f.mu.RUnlock()
+		if closed {
+			return ErrClosed
+		}
+		return ErrUnknownTenant
+	}
+	return err
+}
+
 // TenantStats is one tenant's serving snapshot.
 type TenantStats struct {
 	// Queries is the number of completed queries (admitted and served,
@@ -320,6 +493,9 @@ type TenantStats struct {
 	Queries int64
 	// Rejected counts queries shed by the in-flight admission bound.
 	Rejected int64
+	// Expired counts queries shed at admission because their QueryCtx
+	// deadline had already passed (or their context was cancelled).
+	Expired int64
 	// Panics counts contained backend panics.
 	Panics int64
 	// InFlight is the instantaneous admitted-query count.
@@ -337,6 +513,14 @@ type TenantStats struct {
 	// has absorbed, summed across the backend's shards, for backends that
 	// report per-shard status (core.ShardedWrapper); -1 otherwise.
 	Staleness int
+	// DriftedShards counts the backend's shards whose ingested-residual
+	// EWMA has tripped the drift threshold (they owe a refit), and
+	// MaxDriftRatio is the worst shard's residual-over-baseline ratio —
+	// the signals a health endpoint surfaces so an orchestrator can see a
+	// tenant sliding before its accuracy does. Both stay zero for
+	// backends without per-shard status.
+	DriftedShards int
+	MaxDriftRatio float64
 	// QuantQueries counts lookups the backend served through int8
 	// quantized programs, and QuantFallbacks the subset re-run on the
 	// retained float program because the UQ decision sat inside the
@@ -363,6 +547,7 @@ func (t *tenant) snapshot() TenantStats {
 	st := TenantStats{
 		Queries:   t.queries.Load(),
 		Rejected:  t.rejected.Load(),
+		Expired:   t.expired.Load(),
 		Panics:    t.panics.Load(),
 		InFlight:  t.inflight.Load(),
 		Batches:   cs.Batches,
@@ -373,6 +558,12 @@ func (t *tenant) snapshot() TenantStats {
 		st.Staleness = 0
 		for _, sh := range s.Status() {
 			st.Staleness += sh.Stale
+			if sh.Drifted {
+				st.DriftedShards++
+			}
+			if sh.DriftRatio > st.MaxDriftRatio {
+				st.MaxDriftRatio = sh.DriftRatio
+			}
 		}
 	}
 	if q, ok := t.backend.(quantStatser); ok {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/raceflag"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -473,5 +475,147 @@ func TestFleetQuantStats(t *testing.T) {
 	}
 	if ps.QuantQueries != 0 || ps.QuantFallbacks != 0 {
 		t.Fatalf("plain tenant reported quant stats (%d, %d), want zeros", ps.QuantQueries, ps.QuantFallbacks)
+	}
+}
+
+// TestFleetQueryCtxExpiredShedsBeforeBackend pins the deadline-admission
+// contract: a request arriving with an already-dead context is shed
+// before it is enqueued — the backend never sees it, the Expired counter
+// moves, and the error is the context's own.
+func TestFleetQueryCtxExpiredShedsBeforeBackend(t *testing.T) {
+	bk := &fakeBackend{scale: 3}
+	f := New(Config{})
+	defer f.Close()
+	if err := f.Register("m", bk); err != nil {
+		t.Fatal(err)
+	}
+
+	y := make([]float64, 1)
+	std := make([]float64, 1)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := f.QueryCtx(ctx, "m", []float64{1, 1}, y, std); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired context returned %v, want DeadlineExceeded", err)
+	}
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, err := f.QueryCtx(cctx, "m", []float64{1, 1}, y, std); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context returned %v, want Canceled", err)
+	}
+	if n := bk.batches.Load(); n != 0 {
+		t.Fatalf("dead-context queries reached the backend (%d batches)", n)
+	}
+	st, err := f.TenantStats("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expired != 2 {
+		t.Fatalf("Expired = %d, want 2", st.Expired)
+	}
+	if st.Queries != 0 {
+		t.Fatalf("shed queries counted as served: %d", st.Queries)
+	}
+
+	// A live context serves normally through the same path.
+	res, err := f.QueryCtx(context.Background(), "m", []float64{1, 1}, y, std)
+	if err != nil || math.Abs(res.Y[0]-5) > 1e-12 {
+		t.Fatalf("live QueryCtx: %v %v", res.Y, err)
+	}
+}
+
+// TestFleetOverloadedError pins the typed-shed contract: the admission
+// bound rejects with a *OverloadedError naming the tenant, and the value
+// stays wrapping-compatible with the ErrOverloaded sentinel.
+func TestFleetOverloadedError(t *testing.T) {
+	bk := &fakeBackend{scale: 1, block: make(chan struct{})}
+	bk.blockOn.Store(true)
+	f := New(Config{MaxInFlight: 1, Coalescer: serve.Config{MaxBatch: 1}})
+	defer f.Close()
+	if err := f.Register("busy", bk); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { // occupy the single admission slot
+		defer close(done)
+		f.Query("busy", []float64{1, 1})
+	}()
+	// Wait until the occupier is admitted so the probe below cannot win
+	// the slot itself and block in the backend.
+	for start := time.Now(); ; {
+		st, err := f.TenantStats("busy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.InFlight == 1 {
+			break
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("occupier never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, shedErr := f.Query("busy", []float64{1, 1})
+	bk.blockOn.Store(false)
+	close(bk.block)
+	<-done
+	if shedErr == nil {
+		t.Fatal("probe query was admitted past a full window")
+	}
+
+	if !errors.Is(shedErr, ErrOverloaded) {
+		t.Fatalf("errors.Is(%v, ErrOverloaded) = false", shedErr)
+	}
+	var oe *OverloadedError
+	if !errors.As(shedErr, &oe) {
+		t.Fatalf("errors.As(%v, *OverloadedError) = false", shedErr)
+	}
+	if oe.Tenant != "busy" {
+		t.Fatalf("OverloadedError.Tenant = %q", oe.Tenant)
+	}
+	if !strings.Contains(oe.Error(), `"busy"`) {
+		t.Fatalf("error text %q does not name the tenant", oe.Error())
+	}
+}
+
+// driftStubBackend exposes a canned shard status, standing in for a
+// ShardedWrapper with drifted shards.
+type driftStubBackend struct {
+	fakeBackend
+	status []core.ShardStatus
+}
+
+func (d *driftStubBackend) Status() []core.ShardStatus { return d.status }
+
+// TestFleetDriftStats pins the stats plumbing: TenantStats aggregates
+// Drifted/DriftRatio from the backend's shard status so the serving plane
+// can expose drift without touching core.
+func TestFleetDriftStats(t *testing.T) {
+	bk := &driftStubBackend{
+		fakeBackend: fakeBackend{scale: 1},
+		status: []core.ShardStatus{
+			{Stale: 1, Drifted: false, DriftRatio: 0.4},
+			{Stale: 2, Drifted: true, DriftRatio: 3.5},
+			{Stale: 0, Drifted: true, DriftRatio: 2.1},
+		},
+	}
+	f := New(Config{})
+	defer f.Close()
+	if err := f.Register("m", bk); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.TenantStats("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DriftedShards != 2 {
+		t.Fatalf("DriftedShards = %d, want 2", st.DriftedShards)
+	}
+	if st.MaxDriftRatio != 3.5 {
+		t.Fatalf("MaxDriftRatio = %v, want 3.5", st.MaxDriftRatio)
+	}
+	if st.Staleness != 3 {
+		t.Fatalf("Staleness = %d, want 3", st.Staleness)
 	}
 }

@@ -1,0 +1,374 @@
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client-side status errors. Query maps every non-OK response status to
+// one of these (sentinels, so the retry/shed paths allocate nothing) or,
+// for StatusError, to a *RemoteError carrying the server's message.
+var (
+	// ErrRetry is a StatusRetry answer: the tenant's admission window was
+	// full; back off and retry.
+	ErrRetry = errors.New("netserve: tenant overloaded, retry")
+	// ErrExpired is a StatusExpired answer: the request's deadline passed
+	// before the server admitted it.
+	ErrExpired = errors.New("netserve: deadline expired before admission")
+	// ErrUnknownTenant is a StatusUnknownTenant answer.
+	ErrUnknownTenant = errors.New("netserve: unknown tenant")
+	// ErrClientClosed is returned once the client (or its connection) is
+	// closed; in-flight queries fail with it too.
+	ErrClientClosed = errors.New("netserve: client closed")
+	// errShortBuffer reports caller result buffers smaller than the
+	// response row.
+	errShortBuffer = errors.New("netserve: result buffer smaller than response row")
+)
+
+// RemoteError is a StatusError answer: the server-side serving error,
+// transported as text.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "netserve: server error: " + e.Msg }
+
+// WireResult is one wire query's answer.
+type WireResult struct {
+	// Y aliases the caller's y buffer (QueryInto) or is caller-owned
+	// (Query), trimmed to the tenant's output dimensionality.
+	Y []float64
+	// Std is the per-output predictive uncertainty; nil for oracle
+	// answers and for FlagNoStd requests.
+	Std []float64
+	// Src reports which path answered (surrogate or simulation).
+	Src core.Source
+	// Batch is reserved (always 0 on the client; batching is a
+	// server-side property).
+	Batch int
+}
+
+// ClientConfig tunes a Client. The zero value selects the defaults.
+type ClientConfig struct {
+	// MaxFrame caps accepted response-frame bodies (default 64KiB).
+	MaxFrame int
+	// ReadBuffer / WriteBuffer size the buffered reader/writer (default
+	// 32KiB each).
+	ReadBuffer, WriteBuffer int
+	// Flags is OR-ed into every request (e.g. FlagNoStd).
+	Flags byte
+	// DialTimeout bounds Dial (default 5s).
+	DialTimeout time.Duration
+	// FlushSpins is how many scheduler yields the write loop donates after
+	// draining the queue before flushing, letting concurrent callers land
+	// their requests in the same syscall (default 2; negative disables).
+	FlushSpins int
+}
+
+func (c *ClientConfig) fill() {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.ReadBuffer <= 0 {
+		c.ReadBuffer = 32 << 10
+	}
+	if c.WriteBuffer <= 0 {
+		c.WriteBuffer = 32 << 10
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.FlushSpins == 0 {
+		c.FlushSpins = 2
+	}
+	if c.FlushSpins < 0 {
+		c.FlushSpins = 0
+	}
+}
+
+// pending is one in-flight request's pooled state: the encoded frame, the
+// caller's result buffers and the completion signal.
+type pending struct {
+	buf  []byte        // encoded request frame
+	done chan struct{} // cap 1, reused across leases
+	y    []float64     // caller buffers; reader copies into them
+	std  []float64
+	res  WireResult
+	err  error
+}
+
+// Client is one multiplexed wire connection: any number of goroutines may
+// Query concurrently, requests are matched to responses by id, and the
+// write path coalesces concurrent requests into shared buffered flushes
+// (the client-side mirror of the server's batch-aware writer). A
+// steady-state caller reusing its buffers through QueryInto performs zero
+// heap allocations per query.
+type Client struct {
+	cfg  ClientConfig
+	c    net.Conn
+	pool sync.Pool // *pending
+	id   atomic.Uint64
+
+	wq   chan *pending
+	quit chan struct{}
+
+	mu     sync.Mutex
+	pend   map[uint64]*pending
+	broken error // set once the reader dies; all queries fail with it
+
+	loops sync.WaitGroup
+}
+
+// Dial connects to a netserve server at addr.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cl := &Client{
+		cfg:  cfg,
+		c:    c,
+		wq:   make(chan *pending, 256),
+		quit: make(chan struct{}),
+		pend: make(map[uint64]*pending),
+	}
+	cl.loops.Add(2)
+	go cl.writeLoop()
+	go cl.readLoop()
+	return cl, nil
+}
+
+// Close tears the connection down; in-flight queries fail with
+// ErrClientClosed (or the read error that got there first). Idempotent.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	already := cl.broken != nil
+	if !already {
+		cl.broken = ErrClientClosed
+		close(cl.quit)
+	}
+	cl.mu.Unlock()
+	if !already {
+		cl.c.Close()
+	}
+	cl.loops.Wait()
+	return nil
+}
+
+// Query submits one row to the named tenant and blocks for its answer,
+// returning caller-owned slices. deadline is propagated into the server's
+// admission control; the zero time means none.
+func (cl *Client) Query(tenant string, x []float64, deadline time.Time) (WireResult, error) {
+	y := make([]float64, 256)
+	std := make([]float64, 256)
+	res, err := cl.QueryInto(tenant, x, y, std, deadline)
+	return res, err
+}
+
+// QueryInto is the allocation-free form of Query: the answer lands in y
+// (and std, when the surrogate produced one), which must hold the
+// tenant's output dimensionality. A nil std discards any returned
+// uncertainty row (set FlagNoStd in the config to stop the server
+// sending it at all). Safe for concurrent use; each concurrent caller
+// must pass its own buffers.
+func (cl *Client) QueryInto(tenant string, x, y, std []float64, deadline time.Time) (WireResult, error) {
+	p, _ := cl.pool.Get().(*pending)
+	if p == nil {
+		p = &pending{done: make(chan struct{}, 1)}
+	}
+	p.y, p.std = y, std
+	p.err = nil
+	p.res = WireResult{}
+	var dl int64
+	if !deadline.IsZero() {
+		dl = deadline.UnixNano()
+	}
+	id := cl.id.Add(1)
+	var err error
+	p.buf, err = appendRequest(p.buf[:0], tenant, id, dl, cl.cfg.Flags, x)
+	if err != nil {
+		cl.pool.Put(p)
+		return WireResult{}, err
+	}
+
+	cl.mu.Lock()
+	if cl.broken != nil {
+		err = cl.broken
+		cl.mu.Unlock()
+		cl.pool.Put(p)
+		return WireResult{}, err
+	}
+	cl.pend[id] = p
+	cl.mu.Unlock()
+
+	select {
+	case cl.wq <- p:
+	case <-cl.quit:
+		// The writer is gone; withdraw unless the reader's fail-all
+		// already claimed this entry (in which case its completion
+		// signal is en route and must be consumed).
+		if cl.withdraw(p, id) {
+			p.y, p.std = nil, nil
+			cl.pool.Put(p)
+			return WireResult{}, ErrClientClosed
+		}
+	}
+	<-p.done
+	res, rerr := p.res, p.err
+	p.y, p.std = nil, nil
+	cl.pool.Put(p)
+	return res, rerr
+}
+
+// withdraw removes p from the pending map if the reader has not already
+// claimed it; true means the caller owns p again.
+func (cl *Client) withdraw(p *pending, id uint64) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if q, ok := cl.pend[id]; ok && q == p {
+		delete(cl.pend, id)
+		return true
+	}
+	return false
+}
+
+// writeLoop writes queued request frames, draining greedily and flushing
+// once per drained burst — concurrent callers' requests share syscalls.
+func (cl *Client) writeLoop() {
+	defer cl.loops.Done()
+	bw := bufio.NewWriterSize(cl.c, cl.cfg.WriteBuffer)
+	var werr error
+	write := func(p *pending) {
+		if werr == nil {
+			_, werr = bw.Write(p.buf)
+			if werr != nil {
+				cl.c.Close() // wake the reader, which fails all pending
+			}
+		}
+		// On error the pending entry stays in the map; the reader's
+		// fail-all completes it.
+	}
+	for {
+		select {
+		case <-cl.quit:
+			return
+		case p := <-cl.wq:
+			write(p)
+			// Drain greedily, then donate a few scheduler yields before
+			// flushing: concurrent callers that just received their
+			// previous answers get to enqueue the next round, so one
+			// write syscall carries the whole burst.
+			spins := cl.cfg.FlushSpins
+			for {
+				select {
+				case p2 := <-cl.wq:
+					write(p2)
+					continue
+				default:
+				}
+				if spins > 0 {
+					spins--
+					runtime.Gosched()
+					continue
+				}
+				break
+			}
+			if werr == nil {
+				if werr = bw.Flush(); werr != nil {
+					cl.c.Close()
+				}
+			}
+		}
+	}
+}
+
+// readLoop decodes response frames, completes their waiters, and on any
+// read/protocol error fails every pending and future query.
+func (cl *Client) readLoop() {
+	defer cl.loops.Done()
+	br := bufio.NewReaderSize(cl.c, cl.cfg.ReadBuffer)
+	buf := make([]byte, 0, 4096)
+	var rerr error
+	for {
+		buf, rerr = readFrame(br, buf, cl.cfg.MaxFrame)
+		if rerr != nil {
+			break
+		}
+		resp, err := parseResponse(buf)
+		if err != nil {
+			rerr = err
+			break
+		}
+		cl.mu.Lock()
+		p := cl.pend[resp.id]
+		if p != nil {
+			delete(cl.pend, resp.id)
+		}
+		cl.mu.Unlock()
+		if p == nil {
+			// A response nobody is waiting for: the waiter withdrew
+			// (client shutdown race) or the server is confused. Either
+			// way the stream framing is still intact; drop it.
+			continue
+		}
+		complete(p, resp)
+		p.done <- struct{}{}
+	}
+	// Fail everything pending and mark the client broken for future
+	// queries. Close() may have beaten us to the broken flag.
+	cl.mu.Lock()
+	if cl.broken == nil {
+		cl.broken = fmt.Errorf("netserve: connection lost: %w", rerr)
+		close(cl.quit)
+		cl.c.Close()
+	}
+	failErr := cl.broken
+	var ps []*pending
+	for id, p := range cl.pend {
+		delete(cl.pend, id)
+		ps = append(ps, p)
+	}
+	cl.mu.Unlock()
+	for _, p := range ps {
+		p.err = failErr
+		p.done <- struct{}{}
+	}
+}
+
+// complete fills p from a decoded response.
+func complete(p *pending, resp response) {
+	switch resp.status {
+	case StatusOK:
+		if resp.ny > len(p.y) || (resp.nstd > 0 && p.std != nil && resp.nstd > len(p.std)) {
+			p.err = errShortBuffer
+			return
+		}
+		p.res.Y = decodeFloats(p.y[:0], resp.y)
+		if resp.nstd > 0 && p.std != nil {
+			p.res.Std = decodeFloats(p.std[:0], resp.std)
+		}
+		p.res.Src = core.Source(resp.src)
+	case StatusRetry:
+		p.err = ErrRetry
+	case StatusExpired:
+		p.err = ErrExpired
+	case StatusUnknownTenant:
+		p.err = ErrUnknownTenant
+	case StatusError:
+		p.err = &RemoteError{Msg: string(resp.msg)}
+	default:
+		p.err = fmt.Errorf("netserve: unknown response status %d", resp.status)
+	}
+}

@@ -1,0 +1,222 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// LoadConfig drives RunLoad, the closed-loop wire loadtest harness with
+// an open-loop arrival schedule: requests are *scheduled* at the target
+// rate regardless of completions (so a slowdown shows up as queueing
+// latency, not a politely reduced offered load), while a bounded
+// in-flight window keeps a stalled server from accumulating unbounded
+// waiters — schedule slots that find the window full are counted as
+// Overflowed instead of silently skipped, the coordinated-omission guard.
+type LoadConfig struct {
+	// Addr is the server address to dial.
+	Addr string
+	// Tenants are the tenant names to spread queries across (required).
+	Tenants []string
+	// In is the tenants' input dimensionality (required); inputs are
+	// uniform in [-1, 1]^In.
+	In int
+	// QPS is the target aggregate arrival rate; 0 runs closed-loop at
+	// maximum throughput (every worker fires as soon as its previous
+	// query completes).
+	QPS float64
+	// Duration is how long to generate load (default 5s).
+	Duration time.Duration
+	// Conns is how many connections to spread workers over (default 4).
+	Conns int
+	// Workers bounds the in-flight window (default 64).
+	Workers int
+	// Deadline, when non-zero, stamps every request with now+Deadline so
+	// the server's admission can shed late frames.
+	Deadline time.Duration
+	// Seed randomizes the inputs (default 1).
+	Seed uint64
+	// ClientConfig tunes the dialed connections.
+	Client ClientConfig
+}
+
+func (c *LoadConfig) fill() error {
+	if c.Addr == "" {
+		return errors.New("netserve: LoadConfig.Addr is required")
+	}
+	if len(c.Tenants) == 0 {
+		return errors.New("netserve: LoadConfig.Tenants is required")
+	}
+	if c.In <= 0 {
+		return errors.New("netserve: LoadConfig.In is required")
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// LoadReport is RunLoad's outcome.
+type LoadReport struct {
+	// Sent counts requests issued; OK/Retried/Expired/Unknown/Errors
+	// partition their outcomes (Sent = OK+Retried+Expired+Unknown+Errors).
+	Sent, OK, Retried, Expired, Unknown, Errors int64
+	// Overflowed counts schedule slots shed because the in-flight window
+	// was full — offered load the harness could not physically issue.
+	Overflowed int64
+	// Elapsed is the wall time of the run; AchievedQPS is OK/Elapsed.
+	Elapsed     time.Duration
+	AchievedQPS float64
+	// TargetQPS echoes the configured rate (0 = closed loop).
+	TargetQPS float64
+	// Latency is the HDR-style histogram of per-request latencies,
+	// measured from each request's *scheduled* start (not its actual
+	// send) so queueing delay is charged to the server, not hidden.
+	Latency Hist
+}
+
+// String formats the report as a compact table.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	mode := "closed-loop"
+	if r.TargetQPS > 0 {
+		mode = fmt.Sprintf("open-loop %.0f q/s target", r.TargetQPS)
+	}
+	fmt.Fprintf(&b, "loadtest (%s) over %v:\n", mode, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  sent=%d ok=%d retried=%d expired=%d unknown=%d errors=%d overflowed=%d\n",
+		r.Sent, r.OK, r.Retried, r.Expired, r.Unknown, r.Errors, r.Overflowed)
+	fmt.Fprintf(&b, "  achieved %.0f q/s\n", r.AchievedQPS)
+	fmt.Fprintf(&b, "  latency %s\n", r.Latency.String())
+	return b.String()
+}
+
+// RunLoad dials cfg.Conns connections and drives the configured load,
+// returning the merged report. It is the harness behind the learnhpc
+// loadtest subcommand and the wire benchmarks.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	clients := make([]*Client, cfg.Conns)
+	for i := range clients {
+		cl, err := Dial(cfg.Addr, cfg.Client)
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return nil, err
+		}
+		clients[i] = cl
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	rep := &LoadReport{TargetQPS: cfg.QPS}
+	var sent, ok64, retried, expired, unknown, errs, overflowed atomic.Int64
+	var slot atomic.Int64 // open-loop schedule cursor
+	hists := make([]Hist, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(cfg.Duration)
+	interval := 0.0
+	if cfg.QPS > 0 {
+		interval = float64(time.Second) / cfg.QPS
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w%len(clients)]
+			h := &hists[w]
+			rng := xrand.New(cfg.Seed + uint64(w)*0x9e37)
+			x := make([]float64, cfg.In)
+			y := make([]float64, 256)
+			std := make([]float64, 256)
+			for {
+				var sched time.Time
+				if interval > 0 {
+					// Open loop: claim the next schedule slot. Slots that
+					// have already slipped more than one full window by
+					// the time a worker frees up are overflow: the window
+					// cannot physically carry the offered rate.
+					s := slot.Add(1) - 1
+					sched = start.Add(time.Duration(float64(s) * interval))
+					if sched.After(stop) {
+						return
+					}
+					now := time.Now()
+					if d := sched.Sub(now); d > 0 {
+						time.Sleep(d)
+					} else if now.Sub(sched) > time.Duration(float64(cfg.Workers)*interval)+10*time.Millisecond {
+						overflowed.Add(1)
+						continue
+					}
+				} else {
+					sched = time.Now()
+					if sched.After(stop) {
+						return
+					}
+				}
+				for i := range x {
+					x[i] = rng.Range(-1, 1)
+				}
+				var deadline time.Time
+				if cfg.Deadline > 0 {
+					deadline = time.Now().Add(cfg.Deadline)
+				}
+				tenant := cfg.Tenants[int(sent.Add(1)-1)%len(cfg.Tenants)]
+				_, err := cl.QueryInto(tenant, x, y, std, deadline)
+				h.RecordSince(sched)
+				switch {
+				case err == nil:
+					ok64.Add(1)
+				case errors.Is(err, ErrRetry):
+					retried.Add(1)
+				case errors.Is(err, ErrExpired):
+					expired.Add(1)
+				case errors.Is(err, ErrUnknownTenant):
+					unknown.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	rep.Sent = sent.Load()
+	rep.OK = ok64.Load()
+	rep.Retried = retried.Load()
+	rep.Expired = expired.Load()
+	rep.Unknown = unknown.Load()
+	rep.Errors = errs.Load()
+	rep.Overflowed = overflowed.Load()
+	for i := range hists {
+		rep.Latency.Merge(&hists[i])
+	}
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.AchievedQPS = float64(rep.OK) / secs
+	}
+	if math.IsNaN(rep.AchievedQPS) {
+		rep.AchievedQPS = 0
+	}
+	return rep, nil
+}

@@ -1,0 +1,571 @@
+package netserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+// Config tunes a Server. The zero value is not usable: Fleet is required.
+type Config struct {
+	// Fleet is the multi-tenant dispatch plane every decoded request is
+	// fed into (required).
+	Fleet *fleet.Fleet
+	// WorkersPerConn is the per-connection dispatch concurrency: how many
+	// of one connection's bursts may sit inside coalescer gathers at
+	// once (default 32). The bound is per connection by design — a slow
+	// tenant saturating its callers' workers stalls only the connections
+	// that talk to it; neighbours keep their own workers.
+	WorkersPerConn int
+	// MaxBurst caps how many contiguous same-tenant frames the reader
+	// gathers into one fleet burst (default 64). A burst crosses the
+	// fleet as a single multi-row submission — one coalescer waiter, one
+	// channel hop and one writer flush for the whole pipeline of a
+	// multiplexing client — so this is the server-side mirror of the
+	// coalescer's MaxBatch.
+	MaxBurst int
+	// MaxFrame caps the accepted request-frame body size (default 64KiB);
+	// larger frames kill the connection before their payload is read.
+	MaxFrame int
+	// ReadBuffer / WriteBuffer size each connection's buffered reader and
+	// writer (default 32KiB each) — large enough that a coalesced batch's
+	// requests arrive in one read syscall and its responses leave in one
+	// write.
+	ReadBuffer, WriteBuffer int
+	// FlushSpins is how many scheduler yields the response writer spends
+	// waiting for batch peers before flushing anyway (default 2). It only
+	// applies when a just-written burst reports coalesced peers beyond
+	// its own rows (Result.Batch > burst size); self-contained bursts
+	// always flush immediately.
+	FlushSpins int
+}
+
+func (c *Config) fill() {
+	if c.WorkersPerConn <= 0 {
+		c.WorkersPerConn = 32
+	}
+	if c.MaxBurst <= 0 {
+		c.MaxBurst = 64
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.ReadBuffer <= 0 {
+		c.ReadBuffer = 32 << 10
+	}
+	if c.WriteBuffer <= 0 {
+		c.WriteBuffer = 32 << 10
+	}
+	if c.FlushSpins <= 0 {
+		c.FlushSpins = 2
+	}
+}
+
+// Stats is a snapshot of server-wide wire counters.
+type Stats struct {
+	// Conns counts connections accepted since start; Open is the
+	// instantaneous open-connection count.
+	Conns, Open int64
+	// Requests counts request frames decoded; Responses counts response
+	// frames written (every decoded request produces exactly one).
+	Requests, Responses int64
+	// Flushes counts buffered-writer flushes; Responses/Flushes is the
+	// write-coalescing factor the batch-aware flush path achieves.
+	Flushes int64
+	// ProtoErrors counts connections killed by malformed frames.
+	ProtoErrors int64
+}
+
+// reqCtx is one in-flight request's pooled state: the decoded row and the
+// encoded response frame. It is leased by the connection reader, answered
+// by a worker through its burst, and recycled by the response writer —
+// never shared, never escaping.
+type reqCtx struct {
+	id    uint64
+	flags byte
+	x     []float64
+	out   []byte // encoded response frame, length prefix included
+}
+
+// burst is a run of contiguous same-tenant requests the reader gathered
+// from one connection, submitted to the fleet as a single multi-row
+// query. Pooled; its answer callback is a method value minted once per
+// burst object so the steady state allocates nothing.
+type burst struct {
+	name  string // interned tenant name
+	reqs  []*reqCtx
+	rows  [][]float64 // rows[i] aliases reqs[i].x
+	dls   []int64     // unix-nano deadlines, 0 = none
+	hasDL bool
+	// maxBatch is the largest coalesced batch any of the burst's rows
+	// reported — the writer's flush hint: peers beyond this burst mean
+	// more responses are imminent on sibling connections.
+	maxBatch int
+	each     func(i int, res serve.Result, err error)
+}
+
+func newBurst() *burst {
+	bu := &burst{}
+	bu.each = bu.answer
+	return bu
+}
+
+// add appends one decoded request to the burst, taking over rc.
+func (bu *burst) add(rc *reqCtx, req request) {
+	rc.id = req.id
+	rc.flags = req.flags
+	rc.x = decodeFloats(rc.x[:0], req.x)
+	rc.out = rc.out[:0]
+	bu.reqs = append(bu.reqs, rc)
+	bu.rows = append(bu.rows, rc.x)
+	bu.dls = append(bu.dls, req.deadline)
+	if req.deadline != 0 {
+		bu.hasDL = true
+	}
+}
+
+// answer encodes row i's result (or its per-row serving failure) into the
+// request's response frame. It runs inside the fleet's delivery callback,
+// where res.Y/res.Std alias pooled batch rows — encoding immediately is
+// what lets the server skip a staging copy entirely.
+func (bu *burst) answer(i int, res serve.Result, err error) {
+	rc := bu.reqs[i]
+	if res.Batch > bu.maxBatch {
+		bu.maxBatch = res.Batch
+	}
+	switch {
+	case err == nil:
+		std := res.Std
+		if rc.flags&FlagNoStd != 0 {
+			std = nil
+		}
+		rc.out = appendResponse(rc.out[:0], rc.id, StatusOK, byte(res.Src), res.Y, std, "")
+	case errors.Is(err, fleet.ErrOverloaded):
+		rc.out = appendResponse(rc.out[:0], rc.id, StatusRetry, 0, nil, nil, "")
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		rc.out = appendResponse(rc.out[:0], rc.id, StatusExpired, 0, nil, nil, "")
+	case errors.Is(err, fleet.ErrUnknownTenant):
+		rc.out = appendResponse(rc.out[:0], rc.id, StatusUnknownTenant, 0, nil, nil, "")
+	default:
+		rc.out = appendResponse(rc.out[:0], rc.id, StatusError, byte(res.Src), nil, nil, err.Error())
+	}
+}
+
+// failRemaining answers every not-yet-answered row — with err's status
+// mapping when err is non-nil, else with a StatusError carrying msg. The
+// backstop for whole-burst failures and escaped panics, upholding the
+// never-silently-dropped contract.
+func (bu *burst) failRemaining(err error, msg string) {
+	for i, rc := range bu.reqs {
+		if len(rc.out) != 0 {
+			continue
+		}
+		if err != nil {
+			bu.answer(i, serve.Result{}, err)
+		} else {
+			rc.out = appendResponse(rc.out[:0], rc.id, StatusError, 0, nil, nil, msg)
+		}
+	}
+}
+
+// Server serves a Fleet over TCP. All exported methods are safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+	fl  *fleet.Fleet
+
+	pool  sync.Pool // *reqCtx
+	bpool sync.Pool // *burst
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*serverConn]struct{}
+	closed bool
+	wg     sync.WaitGroup // one per live connection handler
+
+	conns64, open, reqs, resps, flushes, protoErrs atomic.Int64
+}
+
+// NewServer builds a server over cfg.Fleet. It panics on a nil fleet —
+// that is a wiring bug, not a runtime condition.
+func NewServer(cfg Config) *Server {
+	if cfg.Fleet == nil {
+		panic("netserve: Config.Fleet is required")
+	}
+	cfg.fill()
+	return &Server{
+		cfg:   cfg,
+		fl:    cfg.Fleet,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[*serverConn]struct{}),
+	}
+}
+
+// Stats returns the server-wide wire counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:       s.conns64.Load(),
+		Open:        s.open.Load(),
+		Requests:    s.reqs.Load(),
+		Responses:   s.resps.Load(),
+		Flushes:     s.flushes.Load(),
+		ProtoErrors: s.protoErrs.Load(),
+	}
+}
+
+// lease takes a recycled request context (or mints one).
+func (s *Server) lease() *reqCtx {
+	rc, _ := s.pool.Get().(*reqCtx)
+	if rc == nil {
+		rc = &reqCtx{}
+	}
+	return rc
+}
+
+func (s *Server) release(rc *reqCtx) { s.pool.Put(rc) }
+
+// leaseBurst takes a recycled burst (or mints one) reset for gathering.
+func (s *Server) leaseBurst() *burst {
+	bu, _ := s.bpool.Get().(*burst)
+	if bu == nil {
+		bu = newBurst()
+	}
+	bu.name = ""
+	bu.reqs = bu.reqs[:0]
+	bu.rows = bu.rows[:0]
+	bu.dls = bu.dls[:0]
+	bu.hasDL = false
+	bu.maxBatch = 0
+	return bu
+}
+
+func (s *Server) releaseBurst(bu *burst) { s.bpool.Put(bu) }
+
+// Serve accepts connections on ln until Close (or a listener error) and
+// handles each on its own goroutine set. It blocks; run it in a
+// goroutine. Multiple Serve calls on different listeners are allowed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			delete(s.lns, ln)
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			// Responses are small frames on a request/response cadence:
+			// Nagle would hold them hostage to delayed ACKs.
+			tc.SetNoDelay(true)
+		}
+		s.conns64.Add(1)
+		s.open.Add(1)
+		cn := &serverConn{
+			srv:   s,
+			c:     c,
+			work:  make(chan *burst, 2*s.cfg.WorkersPerConn),
+			wq:    make(chan *burst, 2*s.cfg.WorkersPerConn),
+			names: make(map[string]string),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			s.open.Add(-1)
+			return ErrServerClosed
+		}
+		s.conns[cn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go cn.handle()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("netserve: server closed")
+
+// Close drains the server: listeners stop accepting, every connection
+// stops reading new frames, requests already decoded are served and their
+// responses flushed, then the connections close. Idempotent. The fleet is
+// not touched — it belongs to the caller.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for cn := range s.conns {
+		cn.closeRead()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// serverConn is one accepted connection: a reader goroutine decoding
+// frames into pooled bursts, WorkersPerConn workers feeding the fleet,
+// and a writer goroutine performing batch-aware flush coalescing.
+type serverConn struct {
+	srv  *Server
+	c    net.Conn
+	work chan *burst // reader → workers
+	wq   chan *burst // workers → writer
+	// names interns tenant-name bytes → string once per connection, so
+	// the steady-state lookup (m[string(frameBytes)], which the compiler
+	// performs without materializing the string) never allocates.
+	names map[string]string
+
+	workers sync.WaitGroup
+	writer  sync.WaitGroup
+}
+
+// closeRead shuts the connection's read side so the reader goroutine
+// unblocks and the drain sequence starts; in-flight requests still get
+// their responses written.
+func (cn *serverConn) closeRead() {
+	type readCloser interface{ CloseRead() error }
+	if rc, ok := cn.c.(readCloser); ok {
+		rc.CloseRead()
+		return
+	}
+	cn.c.SetReadDeadline(time.Now())
+}
+
+// handle runs the connection to completion: it is the reader goroutine,
+// and it owns the teardown ordering — reader stops, workers drain, writer
+// flushes, socket closes. A panic anywhere in this connection's pipeline
+// is contained to the connection.
+func (cn *serverConn) handle() {
+	s := cn.srv
+	defer s.wg.Done()
+	defer s.open.Add(-1)
+	for i := 0; i < s.cfg.WorkersPerConn; i++ {
+		cn.workers.Add(1)
+		go cn.workLoop()
+	}
+	cn.writer.Add(1)
+	go cn.writeLoop()
+
+	cn.readLoop()
+
+	close(cn.work)
+	cn.workers.Wait()
+	close(cn.wq)
+	cn.writer.Wait()
+	cn.c.Close()
+	s.mu.Lock()
+	delete(s.conns, cn)
+	s.mu.Unlock()
+}
+
+// readLoop decodes request frames until EOF, a read error, or a protocol
+// violation (after which the stream framing can no longer be trusted and
+// the connection dies). Contiguous frames for the same tenant — the
+// steady shape a multiplexing client's pipelined flush produces — are
+// gathered into one burst while complete frames are already buffered, so
+// a 16-deep pipeline crosses the fleet as one submission instead of 16.
+func (cn *serverConn) readLoop() {
+	s := cn.srv
+	var bu *burst
+	defer func() {
+		if pv := recover(); pv != nil {
+			s.protoErrs.Add(1)
+		}
+		if bu != nil {
+			// Serve whatever was decoded before the stream died.
+			cn.work <- bu
+		}
+	}()
+	br := bufio.NewReaderSize(cn.c, s.cfg.ReadBuffer)
+	buf := make([]byte, 0, 4096)
+	for {
+		var err error
+		buf, err = readFrame(br, buf, s.cfg.MaxFrame)
+		if err != nil {
+			if err == errOversized || err == errEmptyFrame {
+				s.protoErrs.Add(1)
+			}
+			return
+		}
+		req, err := parseRequest(buf)
+		if err != nil {
+			s.protoErrs.Add(1)
+			return
+		}
+		s.reqs.Add(1)
+		name := cn.intern(req.tenant)
+		if bu != nil && (bu.name != name || len(bu.reqs) >= s.cfg.MaxBurst) {
+			cn.work <- bu
+			bu = nil
+		}
+		if bu == nil {
+			bu = s.leaseBurst()
+			bu.name = name
+		}
+		bu.add(s.lease(), req)
+		if !frameBuffered(br, s.cfg.MaxFrame) {
+			// Nothing more to gather without blocking: submit now.
+			cn.work <- bu
+			bu = nil
+		}
+	}
+}
+
+// frameBuffered reports whether a complete frame is already sitting in
+// the read buffer — i.e. whether the reader can gather one more request
+// without blocking. Malformed prefixes return false so the blocking read
+// path surfaces the framing error.
+func frameBuffered(br *bufio.Reader, max int) bool {
+	n := br.Buffered()
+	if n < lenPrefix {
+		return false
+	}
+	hdr, _ := br.Peek(lenPrefix)
+	blen := int(binary.BigEndian.Uint32(hdr))
+	if blen <= 0 || blen > max {
+		return false
+	}
+	return n >= lenPrefix+blen
+}
+
+// intern maps tenant-name bytes to a stable string, allocating only the
+// first time a name is seen on this connection.
+func (cn *serverConn) intern(b []byte) string {
+	if s, ok := cn.names[string(b)]; ok { // no-alloc map lookup
+		return s
+	}
+	s := string(b)
+	cn.names[s] = s
+	return s
+}
+
+// workLoop serves decoded bursts through the fleet. Each worker blocks
+// inside the tenant coalescer's gather with its peers from every other
+// connection — this is where cross-connection batching happens.
+func (cn *serverConn) workLoop() {
+	defer cn.workers.Done()
+	for bu := range cn.work {
+		cn.serveBurst(bu)
+		cn.wq <- bu
+	}
+}
+
+// serveBurst answers a burst's rows in place. All fleet-level failures
+// map to status frames — a request is never dropped without an answer —
+// and a panic that escapes the fleet's own containment is caught here,
+// poisoning only this burst.
+func (cn *serverConn) serveBurst(bu *burst) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			bu.failRemaining(nil, fmt.Sprint(pv))
+		}
+	}()
+	var dls []int64
+	if bu.hasDL {
+		dls = bu.dls
+	}
+	if err := cn.srv.fl.QueryRows(bu.name, bu.rows, dls, bu.each); err != nil {
+		// Whole-burst rejection (unknown tenant, closed fleet, bad row
+		// geometry): every row still gets its status frame.
+		bu.failRemaining(err, "")
+	}
+}
+
+// writeLoop writes completed bursts with batch-aware flush coalescing:
+// after writing a burst's responses it greedily drains everything already
+// queued, and while the just-written rows report coalesced batch peers
+// beyond the burst itself it donates up to FlushSpins scheduler yields
+// for those peers' workers to enqueue — so the responses of one
+// micro-batch leave in one buffered flush instead of one syscall each. A
+// write error degrades the loop to a pure drain (requests still recycle;
+// the reader is unblocked by closing the socket) so the connection tears
+// down without losing pooled state.
+func (cn *serverConn) writeLoop() {
+	defer cn.writer.Done()
+	s := cn.srv
+	bw := bufio.NewWriterSize(cn.c, s.cfg.WriteBuffer)
+	var werr error
+	write := func(bu *burst) bool {
+		more := bu.maxBatch > len(bu.reqs)
+		for _, rc := range bu.reqs {
+			if werr == nil {
+				if _, werr = bw.Write(rc.out); werr != nil {
+					// The peer is gone: stop the reader too.
+					cn.closeRead()
+				}
+				s.resps.Add(1)
+			}
+			s.release(rc)
+		}
+		s.releaseBurst(bu)
+		return more
+	}
+	for bu := range cn.wq {
+		expectMore := write(bu)
+		spins := 0
+	drain:
+		for {
+			select {
+			case bu2, ok := <-cn.wq:
+				if !ok {
+					break drain
+				}
+				expectMore = write(bu2) || expectMore
+				spins = 0
+			default:
+				if expectMore && spins < s.cfg.FlushSpins {
+					spins++
+					runtime.Gosched()
+					continue
+				}
+				break drain
+			}
+		}
+		if werr == nil {
+			if werr = bw.Flush(); werr != nil {
+				cn.closeRead()
+			} else {
+				s.flushes.Add(1)
+			}
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+}

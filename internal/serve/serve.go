@@ -104,6 +104,13 @@ type Result struct {
 	Y   []float64
 	Src core.Source
 	Std []float64 // non-nil only for surrogate answers
+	// Batch is how many coalesced queries were served by the same backend
+	// dispatch as this one (1 for a solo bypass). A response writer
+	// sitting behind the coalescer can use it as a flush hint: when
+	// Batch > 1, this answer's batch peers completed at the same instant
+	// and their responses are (or are about to be) in flight, so holding
+	// a buffered flush briefly lets one writev-style flush carry them all.
+	Batch int
 }
 
 // Stats is a snapshot of coalescing effectiveness.
@@ -331,6 +338,7 @@ func (c *Coalescer) collect(b *batch, idx int, y, std []float64) (Result, error)
 	}
 	var out Result
 	out.Src = r.Src
+	out.Batch = b.n
 	if r.Y != nil {
 		if y != nil {
 			out.Y = y[:len(r.Y)]
@@ -493,6 +501,132 @@ func (c *Coalescer) release(b *batch) {
 	if b.refs.Add(-1) == 0 {
 		c.pool.put(b)
 	}
+}
+
+// releaseN retires k claims at once (a burst waiter's rows).
+func (c *Coalescer) releaseN(b *batch, k int) {
+	if b.refs.Add(int32(-k)) == 0 {
+		c.pool.put(b)
+	}
+}
+
+// QueryRows submits a contiguous burst of rows as a single waiter: all
+// rows join the forming micro-batch together under one lock hold, the
+// caller blocks once for the whole burst, and each row's answer is
+// delivered through the callback in row order. This is the wire server's
+// enqueue path — a network read that drains N frames hands them over with
+// one channel hop and one park/wake instead of N, which is what keeps
+// loopback serving within arm's reach of in-process dispatch.
+//
+// The callback's Result.Y/Std alias pooled batch storage and are valid
+// only for the duration of that callback invocation; copy (or encode)
+// before returning. Rows beyond MaxBatch split into consecutive batches,
+// every chunk but the last dispatching inline. A backend panic
+// propagates to the caller after the affected rows' claims are retired,
+// exactly like Query; rows in chunks before the panicking one will
+// already have been delivered.
+func (c *Coalescer) QueryRows(rows [][]float64, each func(i int, res Result, err error)) error {
+	n := len(rows)
+	if n == 0 {
+		return nil
+	}
+	for _, x := range rows {
+		if len(x) != c.in {
+			return fmt.Errorf("serve: burst row has %d dims, backend wants %d", len(x), c.in)
+		}
+	}
+	c.active.Add(1)
+	defer c.active.Add(-1)
+	i := 0
+	for i < n {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		b := c.cur
+		leader, solo := false, false
+		if b == nil {
+			b = c.pool.lease(c.in)
+			if c.active.Load() == 1 && !c.denseLocked() {
+				// No other waiter in flight and none imminent: the burst
+				// already IS a batch — dispatch it whole, immediately,
+				// with no gather wait and no completion broadcast.
+				solo = true
+			} else {
+				c.cur = b
+				leader = true
+			}
+		} else if b.done == nil {
+			b.done = make(chan struct{})
+		}
+		start := b.n
+		for i < n && b.n < c.cfg.MaxBatch {
+			b.xs.AppendRow(rows[i])
+			b.n++
+			i++
+		}
+		k := b.n - start
+		c.nQueries += int64(k)
+		base := i - k
+		if solo {
+			c.registerDispatchLocked(b)
+			c.mu.Unlock()
+			c.run(b)
+			c.deliver(b, start, k, base, each)
+			continue
+		}
+		full := b.n >= c.cfg.MaxBatch
+		if full {
+			c.detachLocked()
+		}
+		done := b.done
+		c.mu.Unlock()
+		if full {
+			c.run(b)
+		} else if leader {
+			dispatched, ch := c.lead(b)
+			if !dispatched {
+				<-ch
+			}
+		} else {
+			<-done
+		}
+		c.deliver(b, start, k, base, each)
+	}
+	return nil
+}
+
+// deliver fans a completed batch's rows [start, start+k) back through a
+// burst waiter's callback as rows base..base+k-1, then retires the
+// waiter's k claims. Result slices alias pooled rows — valid only inside
+// the callback. A batch panic is re-thrown after the claims are retired.
+func (c *Coalescer) deliver(b *batch, start, k, base int, each func(i int, res Result, err error)) {
+	if pv := b.panicked; pv != nil {
+		c.releaseN(b, k)
+		panic(pv)
+	}
+	for j := 0; j < k; j++ {
+		r := &b.res[start+j]
+		var res Result
+		err := r.Err
+		if err == errRowNotServed {
+			err = b.err
+			if err == nil {
+				err = errRowNotServed
+			}
+		} else {
+			res.Src = r.Src
+			res.Batch = b.n
+			res.Y = r.Y
+			res.Std = r.Std
+			if err == nil {
+				err = b.err
+			}
+		}
+		each(base+j, res, err)
+	}
+	c.releaseN(b, k)
 }
 
 // Stats returns a snapshot of coalescing effectiveness.

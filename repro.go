@@ -64,6 +64,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/netserve"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -246,9 +247,79 @@ var (
 	// ErrDuplicateTenant is returned when registering an existing name.
 	ErrDuplicateTenant = fleet.ErrDuplicateTenant
 	// ErrTenantOverloaded is returned when a tenant's bounded in-flight
-	// admission window is full.
+	// admission window is full. Sheds carry a *TenantOverloadedError, so
+	// match with errors.Is (the sentinel compares by identity only).
 	ErrTenantOverloaded = fleet.ErrOverloaded
 )
+
+// TenantOverloadedError is the typed admission-shed error: errors.As
+// recovers which tenant shed the query; errors.Is matches it against
+// ErrTenantOverloaded.
+type TenantOverloadedError = fleet.OverloadedError
+
+// Wire serving, re-exported from internal/netserve: a TCP server/client
+// pair speaking a length-prefixed binary protocol whose server decodes
+// straight into pooled buffers feeding the fleet's per-tenant coalescers,
+// so micro-batches gather across connections. The steady-state path is
+// allocation-free on both ends (Client.QueryInto with reused buffers).
+type (
+	// WireServer serves a Fleet over TCP.
+	WireServer = netserve.Server
+	// WireServerConfig tunes a WireServer (Fleet is required).
+	WireServerConfig = netserve.Config
+	// WireServerStats is the server-wide wire counter snapshot.
+	WireServerStats = netserve.Stats
+	// WireClient is one multiplexed client connection; any number of
+	// goroutines may query it concurrently.
+	WireClient = netserve.Client
+	// WireClientConfig tunes a WireClient.
+	WireClientConfig = netserve.ClientConfig
+	// WireResult is one wire query's answer.
+	WireResult = netserve.WireResult
+	// WireRemoteError transports a server-side serving error's message.
+	WireRemoteError = netserve.RemoteError
+	// WireHealth is the HTTP health/readiness/stats handler of a served
+	// fleet (GET /healthz, /readyz, /statsz).
+	WireHealth = netserve.Health
+	// WireLoadConfig drives RunWireLoad.
+	WireLoadConfig = netserve.LoadConfig
+	// WireLoadReport is RunWireLoad's outcome, including an HDR-style
+	// latency histogram measured from scheduled (not sent) time.
+	WireLoadReport = netserve.LoadReport
+	// LatencyHist is the log-linear latency histogram the wire loadtest
+	// and benchmarks record into.
+	LatencyHist = netserve.Hist
+)
+
+// Wire status errors, re-exported. A WireClient maps every non-OK
+// response status to one of these sentinels (or a *WireRemoteError).
+var (
+	// ErrWireRetry is an admission shed crossing the wire: back off and
+	// retry (the wire form of ErrTenantOverloaded).
+	ErrWireRetry = netserve.ErrRetry
+	// ErrWireExpired reports a request whose deadline passed before the
+	// server admitted it.
+	ErrWireExpired = netserve.ErrExpired
+	// ErrWireUnknownTenant is the wire form of ErrUnknownTenant.
+	ErrWireUnknownTenant = netserve.ErrUnknownTenant
+	// ErrWireClientClosed is returned once a WireClient is closed.
+	ErrWireClientClosed = netserve.ErrClientClosed
+	// ErrWireServerClosed is returned by WireServer.Serve after Close.
+	ErrWireServerClosed = netserve.ErrServerClosed
+)
+
+// NewWireServer builds a TCP wire server over cfg.Fleet; run Serve (or
+// ListenAndServe) in a goroutine and Close to drain.
+func NewWireServer(cfg WireServerConfig) *WireServer { return netserve.NewServer(cfg) }
+
+// DialWire connects a multiplexed wire client to a WireServer.
+func DialWire(addr string, cfg WireClientConfig) (*WireClient, error) {
+	return netserve.Dial(addr, cfg)
+}
+
+// RunWireLoad drives an open- or closed-loop loadtest against a wire
+// server and returns the merged report.
+func RunWireLoad(cfg WireLoadConfig) (*WireLoadReport, error) { return netserve.RunLoad(cfg) }
 
 // EffectiveSpeedup evaluates the paper's §III-D formula.
 func EffectiveSpeedup(tseq, ttrain, tlearn, tlookup, nlookup, ntrain float64) float64 {
