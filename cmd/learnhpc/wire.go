@@ -40,10 +40,16 @@ func runServe(args []string) {
 	health := fs.String("health", "127.0.0.1:9091", "health/stats HTTP address (empty disables)")
 	tenants := fs.String("tenants", "potential,tissue,epi", "comma-separated demo tenants to register")
 	maxBatch := fs.Int("max-batch", 64, "per-tenant coalescer batch bound")
+	brownP99 := fs.Duration("brownout-p99", 0, "p99 latency SLO that arms the brownout controller (0 = off)")
+	brownShed := fs.Float64("brownout-shed", 0, "tolerated admission-shed fraction before brownout (0 = off)")
 	fs.Parse(args)
 
 	fl := repro.NewFleet(repro.FleetConfig{
 		Coalescer: repro.CoalescerConfig{MaxBatch: *maxBatch},
+		Brownout: repro.BrownoutConfig{
+			P99SLO:      *brownP99,
+			MaxShedRate: *brownShed,
+		},
 	})
 	defer fl.Close()
 	rng := repro.NewRand(7)
@@ -99,7 +105,11 @@ func runServe(args []string) {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
+		// Flip /readyz to not-ready first so load balancers stop routing
+		// here, give them a beat to notice, then close the listeners.
 		fmt.Printf("\n%v: draining (in-flight requests get their responses)\n", s)
+		srv.BeginDrain()
+		time.Sleep(200 * time.Millisecond)
 		srv.Close()
 		st := srv.Stats()
 		fmt.Printf("served %d requests over %d connections (%d proto errors)\n",

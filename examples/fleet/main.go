@@ -317,6 +317,57 @@ func main() {
 	ws := srv.Stats()
 	fmt.Printf("  wire: %d conns, %d requests over %d flushes (%.1f responses/syscall)\n",
 		ws.Conns, ws.Requests, ws.Flushes, float64(ws.Responses)/float64(max64(ws.Flushes, 1)))
+
+	fmt.Println("\nPhase 6: resilient client — surviving a server restart")
+	// DialWireResilient wraps the same wire protocol in a small connection
+	// pool with automatic reconnect, retry and per-tenant circuit breaking.
+	// Here the server is killed and replaced under live use: the in-between
+	// failures come back as typed errors (never hangs, never silent), and
+	// the pool redials on its own once the replacement is up.
+	srv2 := repro.NewWireServer(repro.WireServerConfig{Fleet: fl})
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv2.Serve(ln2)
+	wireAddr := ln2.Addr().String()
+	rcl, err := repro.DialWireResilient(wireAddr, repro.WireResilientConfig{
+		Conns:            2,
+		ReconnectBackoff: 2 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer rcl.Close()
+	if _, err := rcl.Query("kernel", []float64{0.1, 0.2}, time.Time{}); err != nil {
+		panic(err)
+	}
+	srv2.Close() // hard restart: every pooled connection dies mid-stream
+	typed := 0
+	for i := 0; i < 5; i++ {
+		if _, err := rcl.Query("kernel", []float64{0.1, 0.2}, time.Now().Add(50*time.Millisecond)); err != nil &&
+			(errors.Is(err, repro.ErrWireConnLost) || errors.Is(err, repro.ErrWireNoConn)) {
+			typed++
+		}
+	}
+	srv3 := repro.NewWireServer(repro.WireServerConfig{Fleet: fl})
+	ln3, err := net.Listen("tcp", wireAddr)
+	if err != nil {
+		panic(err)
+	}
+	go srv3.Serve(ln3)
+	defer srv3.Close()
+	var back time.Duration
+	for t0 := time.Now(); ; back = time.Since(t0) {
+		if _, err := rcl.Query("kernel", []float64{0.1, 0.2}, time.Now().Add(100*time.Millisecond)); err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rst := rcl.Stats()
+	fmt.Printf("  outage: %d/5 queries failed with typed errors (no hangs, no silent drops)\n", typed)
+	fmt.Printf("  recovered %v after restart: %d/%d connections live, %d reconnects, %d retries\n",
+		back.Round(time.Millisecond), rst.Live, rst.Conns, rst.Reconnects, rst.Retries)
 }
 
 func max64(a, b int64) int64 {

@@ -1,0 +1,330 @@
+// Package chaos is a programmable fault injector for net.Conn and
+// net.Listener, the test harness behind the failure-domain hardening
+// work: it wraps real transports and corrupts, delays, truncates, stalls,
+// blackholes or kills the traffic flowing through them, on demand and
+// deterministically (seeded xrand stream).
+//
+// The injector sits on either side of a wire: wrap a server's listener
+// with Wrap, or hand Dialer to a client config. Faults are toggled at
+// runtime through atomic setters, so a soak test can phase through fault
+// regimes against live load without synchronization. Every injected fault
+// is counted, and every tracked connection can be severed at once with
+// KillAll — the "switch reboot" primitive recovery tests are built on.
+package chaos
+
+import (
+	"errors"
+	"math"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// errInjected marks connection-fatal injected faults so tests can tell
+// deliberate breakage from accidental breakage.
+var errInjected = errors.New("chaos: injected fault")
+
+// Stats is a snapshot of the injector's fault counters.
+type Stats struct {
+	// Conns counts connections currently tracked (open through this
+	// injector).
+	Conns int
+	// Drops, Partials, Corrupts, Resets, Delays count injected faults by
+	// kind since construction.
+	Drops, Partials, Corrupts, Resets, Delays int64
+}
+
+// Injector holds the fault configuration and the set of live connections
+// it has wrapped. All methods are safe for concurrent use.
+type Injector struct {
+	dropRate    atomic.Uint64 // float64 bits: P(kill conn on an I/O op)
+	corruptRate atomic.Uint64 // float64 bits: P(flip a byte in a write)
+	partialRate atomic.Uint64 // float64 bits: P(truncate a write, then kill)
+	resetRate   atomic.Uint64 // float64 bits: P(close a conn straight after accept)
+	delay       atomic.Int64  // nanoseconds added to every I/O op
+	stalled     atomic.Bool   // I/O blocks until cleared or deadline
+	blackhole   atomic.Bool   // writes vanish, reporting success
+
+	rmu sync.Mutex
+	rng *xrand.Rand
+
+	cmu   sync.Mutex
+	conns map[*Conn]struct{}
+
+	drops, partials, corrupts, resets, delays atomic.Int64
+}
+
+// New builds an injector with no faults armed; seed fixes its random
+// stream so a failing soak replays byte-for-byte.
+func New(seed uint64) *Injector {
+	return &Injector{rng: xrand.New(seed), conns: map[*Conn]struct{}{}}
+}
+
+// SetDropRate arms per-operation connection kills: each read or write
+// dies (closing the connection) with probability p.
+func (in *Injector) SetDropRate(p float64) { in.dropRate.Store(math.Float64bits(p)) }
+
+// SetCorruptRate arms payload corruption: each write has one byte XOR-ed
+// with probability p. The connection survives — corruption is the fault
+// the frame parser, not the transport, must catch.
+func (in *Injector) SetCorruptRate(p float64) { in.corruptRate.Store(math.Float64bits(p)) }
+
+// SetPartialRate arms truncated writes: with probability p only a random
+// prefix of the buffer is written and the connection then dies, leaving
+// the peer a half frame.
+func (in *Injector) SetPartialRate(p float64) { in.partialRate.Store(math.Float64bits(p)) }
+
+// SetResetRate arms accept-time resets: an accepted connection is closed
+// immediately with probability p, before the peer writes a byte.
+func (in *Injector) SetResetRate(p float64) { in.resetRate.Store(math.Float64bits(p)) }
+
+// SetDelay adds a fixed latency to every read and write.
+func (in *Injector) SetDelay(d time.Duration) { in.delay.Store(int64(d)) }
+
+// SetStalled freezes (true) or thaws (false) all I/O through the
+// injector: operations block — honoring deadlines — until thawed. The
+// write-stall watchdog and client deadline-grace paths are exercised
+// through this.
+func (in *Injector) SetStalled(v bool) { in.stalled.Store(v) }
+
+// SetBlackhole makes writes vanish while reporting success — the
+// silent-partition fault no transport error ever surfaces for.
+func (in *Injector) SetBlackhole(v bool) { in.blackhole.Store(v) }
+
+// Clear disarms every fault.
+func (in *Injector) Clear() {
+	in.SetDropRate(0)
+	in.SetCorruptRate(0)
+	in.SetPartialRate(0)
+	in.SetResetRate(0)
+	in.SetDelay(0)
+	in.SetStalled(false)
+	in.SetBlackhole(false)
+}
+
+// KillAll severs every tracked connection at once.
+func (in *Injector) KillAll() {
+	in.cmu.Lock()
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.cmu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Open reports how many wrapped connections are currently open.
+func (in *Injector) Open() int {
+	in.cmu.Lock()
+	defer in.cmu.Unlock()
+	return len(in.conns)
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Conns:    in.Open(),
+		Drops:    in.drops.Load(),
+		Partials: in.partials.Load(),
+		Corrupts: in.corrupts.Load(),
+		Resets:   in.resets.Load(),
+		Delays:   in.delays.Load(),
+	}
+}
+
+// hit draws a Bernoulli with the given float-bits probability.
+func (in *Injector) hit(rate *atomic.Uint64) bool {
+	p := math.Float64frombits(rate.Load())
+	if p <= 0 {
+		return false
+	}
+	in.rmu.Lock()
+	v := in.rng.Float64()
+	in.rmu.Unlock()
+	return v < p
+}
+
+// intn draws a uniform int in [0, n) from the injector's stream.
+func (in *Injector) intn(n int) int {
+	in.rmu.Lock()
+	defer in.rmu.Unlock()
+	return int(in.rng.Uint64() % uint64(n))
+}
+
+// Wrap tracks and fault-wraps an established connection.
+func (in *Injector) Wrap(c net.Conn) *Conn {
+	cc := &Conn{inj: in, c: c}
+	in.cmu.Lock()
+	in.conns[cc] = struct{}{}
+	in.cmu.Unlock()
+	return cc
+}
+
+func (in *Injector) untrack(c *Conn) {
+	in.cmu.Lock()
+	delete(in.conns, c)
+	in.cmu.Unlock()
+}
+
+// Listener wraps ln so every accepted connection flows through the
+// injector.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, inj: in}
+}
+
+// Dialer wraps an address dialer so every dialed connection flows through
+// the injector. inner nil uses net.DialTimeout("tcp", ...). The signature
+// matches the client config's Dialer hook structurally, so chaos needs no
+// import of the serving packages.
+func (in *Injector) Dialer(inner func(addr string, timeout time.Duration) (net.Conn, error)) func(addr string, timeout time.Duration) (net.Conn, error) {
+	if inner == nil {
+		inner = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := inner(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(c), nil
+	}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (ln *listener) Accept() (net.Conn, error) {
+	c, err := ln.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	cc := ln.inj.Wrap(c)
+	if ln.inj.hit(&ln.inj.resetRate) {
+		// Reset-on-accept: the peer sees its freshly dialed connection
+		// die. Still return the (dead) conn so the accept loop's
+		// bookkeeping stays uniform.
+		ln.inj.resets.Add(1)
+		cc.Close()
+	}
+	return cc, nil
+}
+
+// Conn is a fault-wrapped connection. The deadline setters both forward
+// to the underlying connection and record the deadline locally, so
+// injected stalls and delays honor it the way a real socket would.
+type Conn struct {
+	inj    *Injector
+	c      net.Conn
+	closed atomic.Bool
+	rdl    atomic.Int64 // read deadline, unix nanos (0 = none)
+	wdl    atomic.Int64 // write deadline, unix nanos (0 = none)
+}
+
+// fault runs the shared pre-I/O fault ladder: delay, stall, drop. A
+// non-nil error means the operation must fail with it.
+func (c *Conn) fault(dl *atomic.Int64) error {
+	in := c.inj
+	if d := time.Duration(in.delay.Load()); d > 0 {
+		in.delays.Add(1)
+		if lim := dl.Load(); lim != 0 {
+			if left := time.Until(time.Unix(0, lim)); left < d {
+				if left > 0 {
+					time.Sleep(left)
+				}
+				return os.ErrDeadlineExceeded
+			}
+		}
+		time.Sleep(d)
+	}
+	for in.stalled.Load() {
+		if c.closed.Load() {
+			return net.ErrClosed
+		}
+		if lim := dl.Load(); lim != 0 && time.Now().UnixNano() >= lim {
+			return os.ErrDeadlineExceeded
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if in.hit(&in.dropRate) {
+		in.drops.Add(1)
+		c.Close()
+		return errInjected
+	}
+	return nil
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.fault(&c.rdl); err != nil {
+		return 0, err
+	}
+	return c.c.Read(b)
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.fault(&c.wdl); err != nil {
+		return 0, err
+	}
+	in := c.inj
+	if in.blackhole.Load() {
+		// The write "succeeds" and the bytes go nowhere: the peer never
+		// answers, and no error ever surfaces here.
+		return len(b), nil
+	}
+	if len(b) > 1 && in.hit(&in.partialRate) {
+		in.partials.Add(1)
+		n, _ := c.c.Write(b[:1+in.intn(len(b)-1)])
+		c.Close()
+		return n, errInjected
+	}
+	if len(b) > 0 && in.hit(&in.corruptRate) {
+		in.corrupts.Add(1)
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		cp[in.intn(len(cp))] ^= 0xA5
+		return c.c.Write(cp)
+	}
+	return c.c.Write(b)
+}
+
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.inj.untrack(c)
+	return c.c.Close()
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.c.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rdl.Store(nanos(t))
+	c.wdl.Store(nanos(t))
+	return c.c.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rdl.Store(nanos(t))
+	return c.c.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wdl.Store(nanos(t))
+	return c.c.SetWriteDeadline(t)
+}
+
+func nanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}

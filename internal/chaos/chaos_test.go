@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipePair builds a wrapped/raw conn pair over an in-memory pipe.
+func pipePair(t *testing.T, in *Injector) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return in.Wrap(a), b
+}
+
+func TestPassThrough(t *testing.T) {
+	in := New(1)
+	w, r := pipePair(t, in)
+	msg := []byte("hello across the wire")
+	go w.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := readFull(r, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("payload altered with no faults armed: %q", got)
+	}
+	if st := in.Stats(); st.Drops+st.Partials+st.Corrupts+st.Resets != 0 {
+		t.Fatalf("fault counters moved with no faults armed: %+v", st)
+	}
+}
+
+func TestCorruptAltersPayload(t *testing.T) {
+	in := New(7)
+	in.SetCorruptRate(1)
+	w, r := pipePair(t, in)
+	msg := []byte("pristine payload bytes")
+	go w.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := readFull(r, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corrupt rate 1 delivered the payload unaltered")
+	}
+	if in.Stats().Corrupts == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestDropKillsConn(t *testing.T) {
+	in := New(3)
+	in.SetDropRate(1)
+	w, _ := pipePair(t, in)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, errInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if in.Open() != 0 {
+		t.Fatalf("dropped conn still tracked: %d open", in.Open())
+	}
+}
+
+func TestPartialWriteTruncates(t *testing.T) {
+	in := New(5)
+	in.SetPartialRate(1)
+	w, r := pipePair(t, in)
+	msg := make([]byte, 64)
+	done := make(chan int, 1)
+	go func() {
+		got := make([]byte, len(msg))
+		n, _ := r.Read(got)
+		done <- n
+	}()
+	if _, err := w.Write(msg); !errors.Is(err, errInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if n := <-done; n == 0 || n >= len(msg) {
+		t.Fatalf("partial write delivered %d of %d bytes", n, len(msg))
+	}
+}
+
+func TestStallHonorsDeadline(t *testing.T) {
+	in := New(9)
+	in.SetStalled(true)
+	w, _ := pipePair(t, in)
+	w.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := w.Write([]byte("x"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stall error is not a net timeout: %v", err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("stall returned after %v, before the deadline", el)
+	}
+}
+
+func TestStallClears(t *testing.T) {
+	in := New(11)
+	in.SetStalled(true)
+	w, r := pipePair(t, in)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		in.SetStalled(false)
+	}()
+	go w.Write([]byte("x"))
+	got := make([]byte, 1)
+	if _, err := readFull(r, got); err != nil {
+		t.Fatalf("read after thaw: %v", err)
+	}
+}
+
+func TestBlackholeSwallowsWrites(t *testing.T) {
+	in := New(13)
+	in.SetBlackhole(true)
+	w, r := pipePair(t, in)
+	if n, err := w.Write([]byte("vanish")); err != nil || n != 6 {
+		t.Fatalf("blackholed write: n=%d err=%v", n, err)
+	}
+	r.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if n, err := r.Read(make([]byte, 8)); err == nil {
+		t.Fatalf("blackholed bytes arrived: %d", n)
+	}
+}
+
+func TestKillAllSeversEverything(t *testing.T) {
+	in := New(17)
+	w1, _ := pipePair(t, in)
+	w2, _ := pipePair(t, in)
+	if in.Open() != 2 {
+		t.Fatalf("want 2 tracked, got %d", in.Open())
+	}
+	in.KillAll()
+	if in.Open() != 0 {
+		t.Fatalf("KillAll left %d tracked", in.Open())
+	}
+	if _, err := w1.c.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn 1 survived KillAll")
+	}
+	if _, err := w2.c.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn 2 survived KillAll")
+	}
+}
+
+func TestResetOnAccept(t *testing.T) {
+	in := New(19)
+	in.SetResetRate(1)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Listener(raw)
+	defer ln.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			defer c.Close()
+			c.SetReadDeadline(time.Now().Add(time.Second))
+			c.Read(make([]byte, 1)) // observes the reset as EOF
+		}
+	}()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("reset-on-accept conn accepted a write")
+	}
+	if in.Stats().Resets == 0 {
+		t.Fatal("reset not counted")
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	draw := func(seed uint64) []int {
+		in := New(seed)
+		out := make([]int, 16)
+		for i := range out {
+			out[i] = in.intn(1000)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+func readFull(r net.Conn, b []byte) (int, error) {
+	total := 0
+	for total < len(b) {
+		n, err := r.Read(b[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -117,6 +117,83 @@ type BatchQuantServing interface {
 	PredictBatchWithUQQuantInto(x, mean, std *tensor.Matrix, ok []bool)
 }
 
+// Brownout ladder levels. A wrapper serving under fleet brownout control
+// steps down this ladder one level at a time: each level trades a little
+// answer fidelity for a lot of compute headroom, and every level is
+// reversible — stepping back to BrownoutOff restores the configured
+// serving mode exactly.
+const (
+	// BrownoutOff is full fidelity: the configured serving mode.
+	BrownoutOff = 0
+	// BrownoutPreferQuant serves UQ lookups through the int8 quantized
+	// program whenever one is compiled, even if the wrapper was not
+	// configured Quantized. Surrogates without a quantized program are
+	// unaffected.
+	BrownoutPreferQuant = 1
+	// BrownoutReducedMC additionally caps MC-dropout UQ at
+	// brownoutMCPasses stochastic passes (down from the surrogate's
+	// configured count) for surrogates that implement MCTunable.
+	BrownoutReducedMC = 2
+	// BrownoutNoUQ serves a single stochastic pass: the MC-dropout std
+	// degenerates to zero, so the UQ gate always accepts and no oracle
+	// fallback runs — the cheapest answer the wrapper can produce while
+	// still answering.
+	BrownoutNoUQ = 3
+)
+
+// brownoutMCPasses is the capped MC-dropout pass count at BrownoutReducedMC.
+const brownoutMCPasses = 4
+
+// MCTunable is the optional Surrogate face a brownout controller uses to
+// cap MC-dropout passes without retraining. NNSurrogate implements it.
+type MCTunable interface {
+	// SetMCPassCap bounds UQ prediction to at most n stochastic passes
+	// (0 removes the cap). Safe to call concurrently with serving.
+	SetMCPassCap(n int)
+}
+
+// applyMCCap translates a brownout level into a surrogate's MC pass cap:
+// uncapped below BrownoutReducedMC, brownoutMCPasses at it, and a single
+// pass at BrownoutNoUQ (the single pass's zero variance is what turns
+// the UQ gate off). Surrogates without MCTunable are left alone.
+func applyMCCap(sur Surrogate, level int) {
+	mt, ok := sur.(MCTunable)
+	if !ok {
+		return
+	}
+	switch {
+	case level >= BrownoutNoUQ:
+		mt.SetMCPassCap(1)
+	case level >= BrownoutReducedMC:
+		mt.SetMCPassCap(brownoutMCPasses)
+	default:
+		mt.SetMCPassCap(0)
+	}
+}
+
+// clampBrownout bounds a requested level to the ladder.
+func clampBrownout(level int) int {
+	if level < BrownoutOff {
+		return BrownoutOff
+	}
+	if level > BrownoutNoUQ {
+		return BrownoutNoUQ
+	}
+	return level
+}
+
+// quantBand returns the quantized-serving guardrail half-width for a
+// brownout level: the surrogate's calibrated bound normally, negative
+// (guardrail off, envelope check still applies) at BrownoutNoUQ — there
+// the gate is vacuous, so a float re-run of boundary decisions would
+// throw away exactly the compute the brownout is trying to save.
+func quantBand(qs QuantServing, level int32) float64 {
+	if level >= BrownoutNoUQ {
+		return -1
+	}
+	return qs.QuantGateBound()
+}
+
 // NNSurrogate is the reference Surrogate: a dropout MLP trained on
 // standardized features/targets, with MC-dropout UQ.
 type NNSurrogate struct {
@@ -156,6 +233,24 @@ type NNSurrogate struct {
 
 	inPool    sync.Pool // *[]float64 scaled-input staging, len inDim
 	stagePool sync.Pool // *tensor.Matrix scaled-batch staging
+
+	// mcCap bounds UQ passes under brownout (0 = uncapped); atomic so a
+	// controller can move it while serving threads are mid-predict.
+	mcCap atomic.Int32
+}
+
+// SetMCPassCap implements MCTunable: bound UQ prediction to at most n
+// stochastic passes (0 removes the cap).
+func (s *NNSurrogate) SetMCPassCap(n int) { s.mcCap.Store(int32(n)) }
+
+// passes is the effective MC-dropout pass count: MCPasses bounded by the
+// brownout cap when one is set.
+func (s *NNSurrogate) passes() int {
+	p := s.MCPasses
+	if c := int(s.mcCap.Load()); c > 0 && c < p {
+		p = c
+	}
+	return p
 }
 
 // getIn leases a pooled scaled-input buffer; putIn returns it.
@@ -315,7 +410,7 @@ func (s *NNSurrogate) PredictWithUQQuant(x []float64) (mean, std []float64, ok b
 	mean, std = res[:s.outDim:s.outDim], res[s.outDim:]
 	in := s.getIn()
 	s.xScaler.TransformVecInto(*in, x)
-	_, _, ok = q.PredictMC(*in, s.MCPasses, mean, std)
+	_, _, ok = q.PredictMC(*in, s.passes(), mean, std)
 	s.putIn(in)
 	for j := 0; j < s.outDim; j++ {
 		mean[j] = mean[j]*s.yScaler.Std[j] + s.yScaler.Mean[j]
@@ -338,7 +433,7 @@ func (s *NNSurrogate) PredictBatchWithUQQuantInto(x, mean, std *tensor.Matrix, o
 		return
 	}
 	xs := s.getStage(x)
-	q.PredictMCBatch(xs, s.MCPasses, mean, std, ok)
+	q.PredictMCBatch(xs, s.passes(), mean, std, ok)
 	s.putStage(xs)
 	s.unscaleRows(mean, std)
 }
@@ -376,10 +471,10 @@ func (s *NNSurrogate) PredictWithUQ(x []float64) (mean, std []float64) {
 	if c := s.compiled; c != nil {
 		in := s.getIn()
 		s.xScaler.TransformVecInto(*in, x)
-		c.PredictMC(*in, s.MCPasses, mean, std)
+		c.PredictMC(*in, s.passes(), mean, std)
 		s.putIn(in)
 	} else {
-		m, sd := s.net.PredictMC(s.xScaler.TransformVec(x), s.MCPasses)
+		m, sd := s.net.PredictMC(s.xScaler.TransformVec(x), s.passes())
 		copy(mean, m)
 		copy(std, sd)
 	}
@@ -427,10 +522,10 @@ func (s *NNSurrogate) PredictBatchWithUQInto(x, mean, std *tensor.Matrix) {
 	s.mustBeTrained()
 	if c := s.compiled; c != nil {
 		xs := s.getStage(x)
-		c.PredictMCBatch(xs, s.MCPasses, mean, std)
+		c.PredictMCBatch(xs, s.passes(), mean, std)
 		s.putStage(xs)
 	} else {
-		m, sd := s.net.PredictMCBatch(s.xScaler.Transform(x), s.MCPasses)
+		m, sd := s.net.PredictMCBatch(s.xScaler.Transform(x), s.passes())
 		mean.Reshape(x.Rows, s.outDim)
 		std.Reshape(x.Rows, s.outDim)
 		copy(mean.Data, m.Data)
@@ -525,7 +620,32 @@ type Wrapper struct {
 	quantQueries   atomic.Uint64 // lookups served through the quantized program
 	quantFallbacks atomic.Uint64 // of those, re-runs on the float program
 
+	// brownout is the current degradation ladder level (BrownoutOff..
+	// BrownoutNoUQ), moved by SetBrownoutLevel.
+	brownout atomic.Int32
+
 	ledgerBox // ledger lock is always acquired after mu
+}
+
+// SetBrownoutLevel moves the wrapper to an absolute brownout ladder
+// level (BrownoutOff through BrownoutNoUQ, clamped). A fleet brownout
+// controller steps it one level at a time; operators may jump. Safe for
+// concurrent use with serving — queries in flight finish on whichever
+// level they started.
+func (w *Wrapper) SetBrownoutLevel(level int) {
+	level = clampBrownout(level)
+	w.brownout.Store(int32(level))
+	applyMCCap(w.surrogate, level)
+}
+
+// BrownoutLevel reports the current brownout ladder level.
+func (w *Wrapper) BrownoutLevel() int { return int(w.brownout.Load()) }
+
+// quantPreferred reports whether UQ lookups should try the quantized
+// program: configured Quantized, or browned out to BrownoutPreferQuant
+// or deeper.
+func (w *Wrapper) quantPreferred() bool {
+	return w.cfg.Quantized || w.brownout.Load() >= BrownoutPreferQuant
 }
 
 // batchScratch pools the per-call working state of one QueryBatchInto:
@@ -629,7 +749,7 @@ func (w *Wrapper) tryLookup(x []float64) (mean, sd []float64, ok bool) {
 		return nil, nil, false
 	}
 	t0 := time.Now()
-	if w.cfg.Quantized {
+	if w.quantPreferred() {
 		if qs, isQ := w.surrogate.(QuantServing); isQ && qs.QuantizedReady() {
 			mean, sd = w.quantLookup(qs, x)
 			dt := time.Since(t0)
@@ -655,19 +775,21 @@ func (w *Wrapper) tryLookup(x []float64) (mean, sd []float64, ok bool) {
 // quantLookup serves one UQ lookup from the quantized program with the
 // float-fallback guardrail; see quantLookupOne.
 func (w *Wrapper) quantLookup(qs QuantServing, x []float64) (mean, sd []float64) {
-	return quantLookupOne(qs, w.surrogate, x, w.cfg.UQThreshold, &w.quantQueries, &w.quantFallbacks)
+	band := quantBand(qs, w.brownout.Load())
+	return quantLookupOne(qs, w.surrogate, x, w.cfg.UQThreshold, band, &w.quantQueries, &w.quantFallbacks)
 }
 
 // quantLookupOne serves one UQ lookup from a quantized program with the
 // float-fallback guardrail: when the input clipped against the
-// calibrated envelope, or the gating std lands within the quant error
-// band of the threshold (the quantization delta could flip the
-// accept/reject decision), the query re-runs on the retained float
-// program and that answer decides. Both wrappers share this loop.
-func quantLookupOne(qs QuantServing, sur Surrogate, x []float64, threshold float64, queries, fallbacks *atomic.Uint64) (mean, sd []float64) {
+// calibrated envelope, or the gating std lands within band of the
+// threshold (the quantization delta could flip the accept/reject
+// decision), the query re-runs on the retained float program and that
+// answer decides. A negative band disables the boundary re-run (the
+// envelope check still applies). Both wrappers share this loop.
+func quantLookupOne(qs QuantServing, sur Surrogate, x []float64, threshold, band float64, queries, fallbacks *atomic.Uint64) (mean, sd []float64) {
 	mean, sd, inRange := qs.PredictWithUQQuant(x)
 	queries.Add(1)
-	if !inRange || math.Abs(maxOf(sd)-threshold) <= qs.QuantGateBound() {
+	if !inRange || math.Abs(maxOf(sd)-threshold) <= band {
 		fallbacks.Add(1)
 		mean, sd = sur.PredictWithUQ(x)
 	}
@@ -817,7 +939,7 @@ func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult, sc *batchScr
 	miss := sc.miss[:0]
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	if w.cfg.Quantized && w.surrogate.Trained() {
+	if w.quantPreferred() && w.surrogate.Trained() {
 		if bq, isBQ := w.surrogate.(BatchQuantServing); isBQ && bq.QuantizedReady() {
 			// Quantized batch path: one int8 MC pass over the batch, then
 			// the guardrail re-runs boundary/out-of-envelope rows on the
@@ -828,7 +950,7 @@ func (w *Wrapper) lookupBatch(xs *tensor.Matrix, res []BatchResult, sc *batchScr
 			t0 := time.Now()
 			bq.PredictBatchWithUQQuantInto(xs, mean, std, oks)
 			w.quantQueries.Add(uint64(xs.Rows))
-			quantGuardBatch(w.surrogate, xs, mean, std, oks, w.cfg.UQThreshold, bq.QuantGateBound(), &w.quantFallbacks)
+			quantGuardBatch(w.surrogate, xs, mean, std, oks, w.cfg.UQThreshold, quantBand(bq, w.brownout.Load()), &w.quantFallbacks)
 			per := time.Since(t0) / time.Duration(xs.Rows)
 			var served, rejected int
 			miss, served, rejected = gateBatchRows(res, miss, nil, mean, std, w.cfg.UQThreshold, true)

@@ -375,7 +375,36 @@ type ShardedWrapper struct {
 	quantQueries   atomic.Uint64 // lookups served through quantized programs
 	quantFallbacks atomic.Uint64 // of those, re-runs on the float program
 
+	// brownout is the current degradation ladder level (BrownoutOff..
+	// BrownoutNoUQ), moved by SetBrownoutLevel.
+	brownout atomic.Int32
+
 	ledgerBox
+}
+
+// SetBrownoutLevel moves every shard to an absolute brownout ladder
+// level (BrownoutOff through BrownoutNoUQ, clamped): published
+// surrogates pick up the MC pass cap immediately, and refits publish
+// their fresh generations already capped. Safe for concurrent use with
+// serving and refits.
+func (w *ShardedWrapper) SetBrownoutLevel(level int) {
+	level = clampBrownout(level)
+	w.brownout.Store(int32(level))
+	for _, s := range w.shards {
+		if surp := s.active.Load(); surp != nil {
+			applyMCCap(*surp, level)
+		}
+	}
+}
+
+// BrownoutLevel reports the current brownout ladder level.
+func (w *ShardedWrapper) BrownoutLevel() int { return int(w.brownout.Load()) }
+
+// quantPreferred reports whether UQ lookups should try shards' quantized
+// programs: configured Quantized, or browned out to BrownoutPreferQuant
+// or deeper.
+func (w *ShardedWrapper) quantPreferred() bool {
+	return w.cfg.Quantized || w.brownout.Load() >= BrownoutPreferQuant
 }
 
 // NewShardedWrapper constructs a sharded, double-buffered wrapper around
@@ -492,10 +521,10 @@ func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, o
 		return nil, nil, false
 	}
 	sur := *surp
-	if w.cfg.Quantized {
+	if w.quantPreferred() {
 		if qs, isQ := sur.(QuantServing); isQ && qs.QuantizedReady() {
 			t0 := time.Now()
-			mean, sd = quantLookupOne(qs, sur, x, w.cfg.UQThreshold, &w.quantQueries, &w.quantFallbacks)
+			mean, sd = quantLookupOne(qs, sur, x, w.cfg.UQThreshold, quantBand(qs, w.brownout.Load()), &w.quantQueries, &w.quantFallbacks)
 			dt := time.Since(t0)
 			if maxOf(sd) <= w.cfg.UQThreshold {
 				w.recordLookup(dt)
@@ -599,7 +628,7 @@ func (w *ShardedWrapper) QueryBatchInto(xs *tensor.Matrix, res []BatchResult) er
 			continue
 		}
 		sur := *surp
-		if w.cfg.Quantized {
+		if w.quantPreferred() {
 			if bq, isQ := sur.(BatchQuantServing); isQ && bq.QuantizedReady() {
 				sc.sub = tensor.GatherRowsInto(sc.sub, xs, idx)
 				mean, std := sc.mats(len(idx), w.out)
@@ -607,7 +636,7 @@ func (w *ShardedWrapper) QueryBatchInto(xs *tensor.Matrix, res []BatchResult) er
 				t0 := time.Now()
 				bq.PredictBatchWithUQQuantInto(sc.sub, mean, std, oks)
 				w.quantQueries.Add(uint64(len(idx)))
-				quantGuardBatch(sur, sc.sub, mean, std, oks, w.cfg.UQThreshold, bq.QuantGateBound(), &w.quantFallbacks)
+				quantGuardBatch(sur, sc.sub, mean, std, oks, w.cfg.UQThreshold, quantBand(bq, w.brownout.Load()), &w.quantFallbacks)
 				per := time.Since(t0) / time.Duration(len(idx))
 				var served, rejected int
 				miss, served, rejected = gateBatchRows(res, miss, idx, mean, std, w.cfg.UQThreshold, true)
@@ -764,6 +793,9 @@ func (w *ShardedWrapper) refit(s *shard, snapX, snapY *tensor.Matrix, gen, consu
 		return
 	}
 	w.record(func(l *Ledger) { l.RecordTraining(dt, snapX.Rows) })
+	// A generation trained mid-brownout publishes already capped, so the
+	// swap cannot silently restore full MC cost under overload.
+	applyMCCap(sur, int(w.brownout.Load()))
 	s.publishIfNewer(sur, gen, w.driftBaselineFor(sur, snapX, snapY))
 	// Samples may have piled past the retrain threshold while this fit
 	// ran; chain one follow-up so a busy shard cannot go stale.
@@ -1031,6 +1063,7 @@ func (w *ShardedWrapper) TrainAll() error {
 		}
 		dt := time.Since(t0)
 		w.record(func(l *Ledger) { l.RecordTraining(dt, snapX.Rows) })
+		applyMCCap(sur, int(w.brownout.Load()))
 		s.publishIfNewer(sur, gen, w.driftBaselineFor(sur, snapX, snapY))
 	})
 	for _, err := range errs {

@@ -81,6 +81,11 @@ type Config struct {
 	// retains for the percentile stats (default 1024, rounded up to a
 	// power of two).
 	LatencyWindow int
+	// Brownout, when enabled (a positive P99SLO or MaxShedRate), starts
+	// the fleet-level brownout controller: a background loop that steps
+	// overloaded tenants' backends down a degradation ladder and back up
+	// on recovery. See BrownoutConfig.
+	Brownout BrownoutConfig
 }
 
 func (c *Config) fill() {
@@ -119,6 +124,13 @@ type tenant struct {
 	expired  atomic.Int64
 	queries  atomic.Int64
 	panics   atomic.Int64
+
+	// Brownout controller state: the current ladder level plus step-down
+	// / step-up transition counts (all zero when the backend does not
+	// degrade or the controller is off).
+	brownout atomic.Int32
+	bdowns   atomic.Int64
+	bups     atomic.Int64
 
 	// lats is a power-of-two ring of recent query latencies (ns),
 	// written with atomic stores so Stats can read concurrently.
@@ -168,16 +180,26 @@ type Fleet struct {
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 	closed  bool
+
+	// Brownout controller lifecycle (nil when disabled).
+	bstop chan struct{}
+	bdone chan struct{}
 }
 
 // New builds an empty fleet.
 func New(cfg Config) *Fleet {
 	cfg.fill()
-	return &Fleet{
+	f := &Fleet{
 		cfg:     cfg,
 		pool:    serve.NewBatchPool(),
 		tenants: make(map[string]*tenant),
 	}
+	if cfg.Brownout.enabled() {
+		f.bstop = make(chan struct{})
+		f.bdone = make(chan struct{})
+		go f.brownoutLoop()
+	}
+	return f
 }
 
 // Register adds a named tenant served by backend behind a fresh coalescer
@@ -253,6 +275,10 @@ func (f *Fleet) Close() error {
 	}
 	f.tenants = make(map[string]*tenant)
 	f.mu.Unlock()
+	if f.bstop != nil {
+		close(f.bstop)
+		<-f.bdone
+	}
 	for _, t := range ts {
 		t.co.Close()
 	}
@@ -527,6 +553,13 @@ type TenantStats struct {
 	// quantization error band (or the input clipped the int8 envelope).
 	// Both stay zero for backends without quantized serving.
 	QuantQueries, QuantFallbacks uint64
+	// BrownoutLevel is the tenant's current degradation ladder level (0 =
+	// full fidelity; see core.Brownout* for the ladder), and
+	// BrownoutDowns / BrownoutUps count the controller's step-down /
+	// step-up transitions since registration. All zero while the brownout
+	// controller is disabled or the backend cannot degrade.
+	BrownoutLevel              int
+	BrownoutDowns, BrownoutUps int64
 }
 
 // statuser is the optional backend face that exposes per-shard refit
@@ -569,6 +602,9 @@ func (t *tenant) snapshot() TenantStats {
 	if q, ok := t.backend.(quantStatser); ok {
 		st.QuantQueries, st.QuantFallbacks = q.QuantStats()
 	}
+	st.BrownoutLevel = int(t.brownout.Load())
+	st.BrownoutDowns = t.bdowns.Load()
+	st.BrownoutUps = t.bups.Load()
 	// QPS over the window since the previous snapshot.
 	t.statsMu.Lock()
 	now := time.Now()
@@ -577,28 +613,36 @@ func (t *tenant) snapshot() TenantStats {
 	}
 	t.lastAt, t.lastQ = now, st.Queries
 	t.statsMu.Unlock()
-	// Latency percentiles over the retained ring. Slots still zero —
-	// claimed by an in-flight observe whose store hasn't landed, or never
-	// written — are skipped rather than read as 0ns latencies (observe
-	// clamps real durations to ≥1ns).
-	n := int64(len(t.lats))
-	if st.Queries < n {
-		n = st.Queries
-	}
-	if n > 0 {
-		lats := make([]int64, 0, n)
-		for i := int64(0); i < n; i++ {
-			if v := atomic.LoadInt64(&t.lats[i]); v > 0 {
-				lats = append(lats, v)
-			}
-		}
-		if len(lats) > 0 {
-			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-			st.P50 = time.Duration(lats[len(lats)/2])
-			st.P99 = time.Duration(lats[len(lats)*99/100])
-		}
-	}
+	st.P50, st.P99 = t.latPercentiles()
 	return st
+}
+
+// latPercentiles reads the tenant's latency ring and returns its p50/p99
+// (zero until the first query completes). Slots still zero — claimed by
+// an in-flight observe whose store hasn't landed, or never written — are
+// skipped rather than read as 0ns latencies (observe clamps real
+// durations to ≥1ns). Unlike snapshot, this mutates no sampling state,
+// so the brownout controller can poll it without corrupting the
+// user-visible QPS window.
+func (t *tenant) latPercentiles() (p50, p99 time.Duration) {
+	n := int64(len(t.lats))
+	if q := t.queries.Load(); q < n {
+		n = q
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	lats := make([]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		if v := atomic.LoadInt64(&t.lats[i]); v > 0 {
+			lats = append(lats, v)
+		}
+	}
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return time.Duration(lats[len(lats)/2]), time.Duration(lats[len(lats)*99/100])
 }
 
 // TenantStats returns one tenant's serving snapshot.

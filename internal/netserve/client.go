@@ -28,6 +28,12 @@ var (
 	// ErrClientClosed is returned once the client (or its connection) is
 	// closed; in-flight queries fail with it too.
 	ErrClientClosed = errors.New("netserve: client closed")
+	// ErrConnLost is the transport-failure sentinel: the connection died
+	// under in-flight queries (read error, peer reset, protocol
+	// violation). The concrete error wraps it with the cause; match with
+	// errors.Is. Unlike the status errors above, the request's fate is
+	// unknown — a ResilientClient retries it on another connection.
+	ErrConnLost = errors.New("netserve: connection lost")
 	// errShortBuffer reports caller result buffers smaller than the
 	// response row.
 	errShortBuffer = errors.New("netserve: result buffer smaller than response row")
@@ -71,6 +77,17 @@ type ClientConfig struct {
 	// draining the queue before flushing, letting concurrent callers land
 	// their requests in the same syscall (default 2; negative disables).
 	FlushSpins int
+	// DeadlineGrace is how long past a request's deadline QueryInto keeps
+	// waiting for the server's answer before giving up client-side with
+	// ErrExpired (default 250ms). The server sheds expired requests with
+	// an explicit status frame, so the grace normally never fires; it
+	// exists so a stalled or blackholed connection cannot hold a
+	// deadline-bearing caller forever. Negative disables the client-side
+	// bound. Requests without a deadline wait indefinitely either way.
+	DeadlineGrace time.Duration
+	// Dialer overrides the transport dial — fault-injection harnesses
+	// wrap connections here. Nil uses net.DialTimeout("tcp", ...).
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (c *ClientConfig) fill() {
@@ -91,6 +108,12 @@ func (c *ClientConfig) fill() {
 	}
 	if c.FlushSpins < 0 {
 		c.FlushSpins = 0
+	}
+	if c.DeadlineGrace == 0 {
+		c.DeadlineGrace = 250 * time.Millisecond
+	}
+	if c.DeadlineGrace < 0 {
+		c.DeadlineGrace = 0
 	}
 }
 
@@ -130,10 +153,21 @@ type Client struct {
 // Dial connects to a netserve server at addr.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
-	c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	dial := cfg.Dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	c, err := dial(addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
+	return newClient(c, cfg), nil
+}
+
+// newClient wraps an established connection; cfg must already be filled.
+func newClient(c net.Conn, cfg ClientConfig) *Client {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
@@ -147,7 +181,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	cl.loops.Add(2)
 	go cl.writeLoop()
 	go cl.readLoop()
-	return cl, nil
+	return cl
 }
 
 // Close tears the connection down; in-flight queries fail with
@@ -225,7 +259,27 @@ func (cl *Client) QueryInto(tenant string, x, y, std []float64, deadline time.Ti
 			return WireResult{}, ErrClientClosed
 		}
 	}
-	<-p.done
+	if dl != 0 && cl.cfg.DeadlineGrace > 0 {
+		wait := time.Until(deadline) + cl.cfg.DeadlineGrace
+		if wait < cl.cfg.DeadlineGrace {
+			wait = cl.cfg.DeadlineGrace
+		}
+		tm := time.NewTimer(wait)
+		select {
+		case <-p.done:
+			tm.Stop()
+		case <-tm.C:
+			// The connection stalled past deadline+grace. Withdraw if the
+			// reader has not claimed the entry; the writer may still hold
+			// p.buf, so the pending is abandoned to the GC, never pooled.
+			if cl.withdraw(p, id) {
+				return WireResult{}, ErrExpired
+			}
+			<-p.done
+		}
+	} else {
+		<-p.done
+	}
 	res, rerr := p.res, p.err
 	p.y, p.std = nil, nil
 	cl.pool.Put(p)
@@ -330,7 +384,7 @@ func (cl *Client) readLoop() {
 	// queries. Close() may have beaten us to the broken flag.
 	cl.mu.Lock()
 	if cl.broken == nil {
-		cl.broken = fmt.Errorf("netserve: connection lost: %w", rerr)
+		cl.broken = fmt.Errorf("%w: %v", ErrConnLost, rerr)
 		close(cl.quit)
 		cl.c.Close()
 	}

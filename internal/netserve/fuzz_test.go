@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
+	"net"
 	"testing"
+	"time"
 )
 
 // The frame decoders sit on the network boundary: every byte they see is
@@ -131,3 +133,40 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzClientResponse drives the full client read path — framing, parse,
+// waiter completion, teardown — with an adversarial server. The
+// guarantees: no panic, no hang (the deadline grace bounds every wait),
+// and the in-flight query always resolves.
+func FuzzClientResponse(f *testing.F) {
+	ok := appendResponse(nil, 1, StatusOK, 0, []float64{1, 2}, []float64{0.1, 0.2}, "")
+	f.Add(ok)
+	f.Add(ok[:len(ok)/2])
+	f.Add(appendResponse(nil, 1, StatusError, 0, nil, nil, "boom"))
+	f.Add(appendResponse(nil, 99, StatusOK, 0, []float64{3}, nil, "")) // nobody waiting
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // oversized length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := netPipe()
+		cfg := ClientConfig{DeadlineGrace: 50 * time.Millisecond}
+		cfg.fill()
+		cfg.DeadlineGrace = 50 * time.Millisecond
+		cl := newClient(a, cfg)
+		defer cl.Close()
+		go func() {
+			br := bufio.NewReader(b)
+			frame := make([]byte, 0, 256)
+			readFrame(br, frame, DefaultMaxFrame) // consume the request
+			b.Write(data)
+			b.Close()
+		}()
+		y := make([]float64, 4)
+		std := make([]float64, 4)
+		// Whatever the server answered — valid, truncated, corrupted or
+		// nothing — the query must resolve within the deadline grace.
+		cl.QueryInto("m", []float64{1}, y, std, time.Now().Add(50*time.Millisecond))
+	})
+}
+
+func netPipe() (net.Conn, net.Conn) { return net.Pipe() }

@@ -48,6 +48,9 @@ type tenantHealth struct {
 	MaxDriftRatio float64 `json:"max_drift_ratio"`
 	QuantQueries  uint64  `json:"quant_queries"`
 	QuantFallback uint64  `json:"quant_fallbacks"`
+	BrownoutLevel int     `json:"brownout_level"`
+	BrownoutDowns int64   `json:"brownout_downs"`
+	BrownoutUps   int64   `json:"brownout_ups"`
 }
 
 // statsz is the JSON shape of /statsz.
@@ -64,6 +67,13 @@ func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	case "/readyz":
+		if h.Server != nil && h.Server.Draining() {
+			// Draining flips not-ready before listeners close, so the
+			// balancer routes around this replica while in-flight work
+			// still completes.
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		ready := h.Fleet != nil && len(h.Fleet.Tenants()) > 0
 		if ready && h.Ready != nil {
 			ready = h.Ready()
@@ -93,6 +103,9 @@ func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 					MaxDriftRatio: st.MaxDriftRatio,
 					QuantQueries:  st.QuantQueries,
 					QuantFallback: st.QuantFallbacks,
+					BrownoutLevel: st.BrownoutLevel,
+					BrownoutDowns: st.BrownoutDowns,
+					BrownoutUps:   st.BrownoutUps,
 				}
 			}
 		}

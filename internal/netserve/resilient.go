@@ -1,0 +1,701 @@
+package netserve
+
+// This file implements ResilientClient, the failure-domain-hardened face
+// of the wire client: a small pool of multiplexed connections with
+// automatic reconnect under jittered exponential backoff, a deadline-aware
+// retry budget over the protocol's explicit retry signal and transport
+// failures, optional request hedging against tail latency, and a
+// per-tenant circuit breaker so a hard-down tenant sheds locally instead
+// of burning its callers' retry budgets. The steady state — healthy
+// connection, first attempt succeeds — adds only atomic/mutex bookkeeping
+// to Client.QueryInto and stays allocation-free.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+var (
+	// ErrNoConn is returned when every pooled connection is down and
+	// reconnecting; the dial loop keeps running in the background.
+	ErrNoConn = errors.New("netserve: no live connection")
+	// ErrCircuitOpen is the match target for circuit-breaker sheds; the
+	// concrete error is a *CircuitOpenError naming the tenant.
+	ErrCircuitOpen = errors.New("netserve: circuit open")
+)
+
+// CircuitOpenError reports a query shed by an open per-tenant circuit
+// breaker. errors.Is(err, ErrCircuitOpen) matches it.
+type CircuitOpenError struct{ Tenant string }
+
+func (e *CircuitOpenError) Error() string {
+	return "netserve: circuit open for tenant " + e.Tenant
+}
+
+func (e *CircuitOpenError) Is(target error) bool { return target == ErrCircuitOpen }
+
+// BreakerConfig tunes the per-tenant circuit breakers. The zero value
+// selects the defaults; set Disable to run without breakers.
+type BreakerConfig struct {
+	// Window is the rolling per-tenant sample window, at most 64 (default
+	// 64; the window lives in one uint64 shift register).
+	Window int
+	// MinSamples is the fewest windowed samples before the breaker may
+	// trip (default 16), so one early failure cannot open it.
+	MinSamples int
+	// TripRate is the windowed failure fraction at which the breaker
+	// opens (default 0.5).
+	TripRate float64
+	// Cooldown is how long an open breaker waits before letting one
+	// half-open probe through (default 1s).
+	Cooldown time.Duration
+	// Disable turns breakers off entirely.
+	Disable bool
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Window <= 0 || c.Window > 64 {
+		c.Window = 64
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.TripRate <= 0 {
+		c.TripRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+}
+
+const (
+	bkClosed = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breaker is one tenant's circuit breaker: a rolling error-rate window in
+// a shift register, the classic closed → open → half-open state machine,
+// and a preallocated open error so shedding allocates nothing.
+type breaker struct {
+	cfg     BreakerConfig
+	tenant  string
+	openErr *CircuitOpenError
+	// state is mirrored atomically so the healthy fast path (closed →
+	// allow) costs one load instead of a mutex round trip; dirty mirrors
+	// "the window holds at least one failure" for the same reason.
+	state atomic.Int32
+	dirty atomic.Bool
+
+	mu       sync.Mutex
+	bits     uint64 // sample ring, bit 0 newest, 1 = failure
+	n, fails int
+	openedAt time.Time
+	probing  bool // half-open: one probe in flight
+}
+
+func newBreaker(cfg BreakerConfig, tenant string) *breaker {
+	return &breaker{cfg: cfg, tenant: tenant, openErr: &CircuitOpenError{Tenant: tenant}}
+}
+
+// allow reports whether a query may proceed, transitioning open →
+// half-open once the cooldown elapses (the caller becomes the probe).
+func (b *breaker) allow() bool {
+	if b.state.Load() == bkClosed {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if time.Since(b.openedAt) >= b.cfg.Cooldown {
+			b.state.Store(bkHalfOpen)
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open: one probe at a time
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		return false
+	}
+}
+
+// record feeds one query outcome back. In half-open state the probe's
+// outcome decides: success closes the breaker with a fresh window,
+// failure reopens it. Stragglers from before a trip are ignored.
+//
+// The healthy steady state — closed breaker, success, no failures in the
+// window — returns without the mutex: successes only matter as dilution
+// once a failure is in the window (the `dirty` mirror), so an all-clean
+// window need not record them at all.
+func (b *breaker) record(fail bool) {
+	if !fail && b.state.Load() == bkClosed && !b.dirty.Load() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case bkOpen:
+		return
+	case bkHalfOpen:
+		b.probing = false
+		if fail {
+			b.state.Store(bkOpen)
+			b.openedAt = time.Now()
+		} else {
+			b.state.Store(bkClosed)
+			b.reset()
+		}
+		return
+	}
+	if b.n == b.cfg.Window {
+		if b.bits>>uint(b.cfg.Window-1)&1 == 1 {
+			b.fails--
+		}
+		b.n--
+	}
+	b.bits <<= 1
+	if fail {
+		b.bits |= 1
+		b.fails++
+		b.dirty.Store(true)
+	}
+	b.n++
+	switch {
+	case b.n >= b.cfg.MinSamples && float64(b.fails)/float64(b.n) >= b.cfg.TripRate:
+		b.state.Store(bkOpen)
+		b.openedAt = time.Now()
+		b.reset()
+	case b.fails == 0:
+		// Every failure aged out: drop the window and return the success
+		// path to lock-free.
+		b.reset()
+	}
+}
+
+// reset clears the sample window (caller holds mu).
+func (b *breaker) reset() {
+	b.bits, b.n, b.fails = 0, 0, 0
+	b.dirty.Store(false)
+}
+
+// ResilientConfig tunes a ResilientClient. The zero value selects the
+// defaults.
+type ResilientConfig struct {
+	// Conns is the connection-pool size (default 2). Queries round-robin
+	// across live connections; dead ones repair in the background.
+	Conns int
+	// Client tunes each pooled connection.
+	Client ClientConfig
+	// MaxAttempts bounds one query's tries across connections (default
+	// 3): the first attempt plus retries after ErrRetry or a transport
+	// failure. Definitive answers (OK, expired, unknown tenant, server
+	// error) never retry.
+	MaxAttempts int
+	// RetryBackoff / RetryBackoffMax shape the jittered exponential
+	// backoff between attempts (defaults 2ms and 250ms). A backoff that
+	// would overshoot the request's deadline returns the last error
+	// instead of sleeping into certain expiry.
+	RetryBackoff, RetryBackoffMax time.Duration
+	// ReconnectBackoff / ReconnectBackoffMax shape the background redial
+	// loop for a broken pooled connection (defaults 10ms and 1s).
+	ReconnectBackoff, ReconnectBackoffMax time.Duration
+	// HedgeDelay, when positive, arms tail-latency hedging: a first
+	// attempt still unanswered after this long triggers a duplicate on
+	// another connection, first answer wins. Hedged attempts allocate;
+	// leave 0 (off) on allocation-sensitive paths.
+	HedgeDelay time.Duration
+	// ExpireStreak is how many consecutive client-side deadline
+	// expirations on one connection condemn it as blackholed and force a
+	// reconnect (default 8; negative disables). A stalled-but-open TCP
+	// connection never yields a transport error on its own — this streak
+	// is the only signal that crosses it.
+	ExpireStreak int
+	// Breaker tunes the per-tenant circuit breakers.
+	Breaker BreakerConfig
+	// Seed fixes the jitter stream (default 1).
+	Seed uint64
+}
+
+func (c *ResilientConfig) fill() {
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 250 * time.Millisecond
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 10 * time.Millisecond
+	}
+	if c.ReconnectBackoffMax <= 0 {
+		c.ReconnectBackoffMax = time.Second
+	}
+	if c.ExpireStreak == 0 {
+		c.ExpireStreak = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Breaker.fill()
+	// c.Client is filled by Dial on each (re)connect; filling it here too
+	// would double-apply the negative-means-disable conversions.
+}
+
+// rslot is one pooled connection slot: the live client (nil while down)
+// and its repair/blackhole-detection state.
+type rslot struct {
+	cl        atomic.Pointer[Client]
+	repairing atomic.Bool
+	expStreak atomic.Int32 // consecutive client-side expirations
+}
+
+// ResilientStats snapshots a ResilientClient's failure-handling counters.
+type ResilientStats struct {
+	// Conns is the pool size; Live is how many connections are currently
+	// up.
+	Conns, Live int
+	// Retries counts extra attempts, Reconnects successful redials,
+	// Hedges launched duplicates, HedgeWins hedges that answered first,
+	// BreakerShed queries refused by an open breaker.
+	Retries, Reconnects, Hedges, HedgeWins, BreakerShed int64
+}
+
+// ResilientClient is the failure-hardened wire client: Client's
+// multiplexing and zero-allocation steady state, plus reconnection,
+// retries, hedging and per-tenant circuit breaking. Safe for concurrent
+// use.
+type ResilientClient struct {
+	cfg  ResilientConfig
+	addr string
+
+	slots []*rslot
+	next  atomic.Uint64
+
+	bmu      sync.RWMutex
+	breakers map[string]*breaker
+	lastBk   atomic.Pointer[breaker] // most recently used breaker, skips bmu
+
+	rmu sync.Mutex
+	rng *xrand.Rand
+
+	smu     sync.Mutex // guards closed-flag vs. repair spawning
+	closed  atomic.Bool
+	quit    chan struct{}
+	repairs sync.WaitGroup
+
+	retries, reconnects, hedges, hedgeWins, breakerShed atomic.Int64
+}
+
+// DialResilient builds the pool. Connections that fail to dial start
+// repairing in the background; only if every connection fails is the
+// first dial error returned.
+func DialResilient(addr string, cfg ResilientConfig) (*ResilientClient, error) {
+	cfg.fill()
+	rc := &ResilientClient{
+		cfg:      cfg,
+		addr:     addr,
+		slots:    make([]*rslot, cfg.Conns),
+		breakers: map[string]*breaker{},
+		rng:      xrand.New(cfg.Seed),
+		quit:     make(chan struct{}),
+	}
+	var firstErr error
+	live := 0
+	for i := range rc.slots {
+		sl := &rslot{}
+		rc.slots[i] = sl
+		cl, err := Dial(addr, cfg.Client)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			rc.spawnRepair(sl)
+			continue
+		}
+		sl.cl.Store(cl)
+		live++
+	}
+	if live == 0 {
+		rc.Close()
+		return nil, firstErr
+	}
+	return rc, nil
+}
+
+// Close tears the pool down: repair loops stop, every live connection
+// closes, in-flight queries fail with ErrClientClosed. Idempotent.
+func (rc *ResilientClient) Close() error {
+	rc.smu.Lock()
+	already := rc.closed.Swap(true)
+	if !already {
+		close(rc.quit)
+	}
+	rc.smu.Unlock()
+	if !already {
+		for _, sl := range rc.slots {
+			if cl := sl.cl.Swap(nil); cl != nil {
+				cl.Close()
+			}
+		}
+	}
+	rc.repairs.Wait()
+	return nil
+}
+
+// Stats snapshots the failure-handling counters.
+func (rc *ResilientClient) Stats() ResilientStats {
+	live := 0
+	for _, sl := range rc.slots {
+		if sl.cl.Load() != nil {
+			live++
+		}
+	}
+	return ResilientStats{
+		Conns:       len(rc.slots),
+		Live:        live,
+		Retries:     rc.retries.Load(),
+		Reconnects:  rc.reconnects.Load(),
+		Hedges:      rc.hedges.Load(),
+		HedgeWins:   rc.hedgeWins.Load(),
+		BreakerShed: rc.breakerShed.Load(),
+	}
+}
+
+// Query is the allocating convenience form; see Client.Query.
+func (rc *ResilientClient) Query(tenant string, x []float64, deadline time.Time) (WireResult, error) {
+	y := make([]float64, 256)
+	std := make([]float64, 256)
+	return rc.QueryInto(tenant, x, y, std, deadline)
+}
+
+// QueryInto submits one row through the pool with retries, hedging and
+// circuit breaking; buffer semantics match Client.QueryInto.
+func (rc *ResilientClient) QueryInto(tenant string, x, y, std []float64, deadline time.Time) (WireResult, error) {
+	if rc.closed.Load() {
+		return WireResult{}, ErrClientClosed
+	}
+	br := rc.breakerFor(tenant)
+	if br != nil && !br.allow() {
+		rc.breakerShed.Add(1)
+		return WireResult{}, br.openErr
+	}
+	res, err := rc.attempts(tenant, x, y, std, deadline)
+	if br != nil {
+		br.record(isBreakerFailure(err))
+	}
+	return res, err
+}
+
+// isBreakerFailure classifies outcomes for the breaker window. Overload
+// sheds and deadline expiries are load signals, not tenant-health
+// signals — the backoff and brownout layers own those — and a too-small
+// caller buffer is the caller's bug. Everything else that errs (server
+// errors, unknown tenant, exhausted transport retries) counts.
+func isBreakerFailure(err error) bool {
+	return err != nil && !errors.Is(err, ErrRetry) &&
+		!errors.Is(err, ErrExpired) && !errors.Is(err, errShortBuffer)
+}
+
+// attempts runs the retry loop: up to MaxAttempts tries across the pool,
+// jittered exponential backoff between them, never sleeping past the
+// caller's deadline.
+func (rc *ResilientClient) attempts(tenant string, x, y, std []float64, deadline time.Time) (WireResult, error) {
+	var last error = ErrNoConn
+	back := rc.cfg.RetryBackoff
+	for attempt := 0; attempt < rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.retries.Add(1)
+			d := rc.jitter(back)
+			if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+				// Sleeping would land past the deadline: the retry is
+				// already lost, report the attempt that got furthest.
+				return WireResult{}, last
+			}
+			select {
+			case <-rc.quit:
+				return WireResult{}, ErrClientClosed
+			case <-time.After(d):
+			}
+			back *= 2
+			if back > rc.cfg.RetryBackoffMax {
+				back = rc.cfg.RetryBackoffMax
+			}
+		}
+		cl, sl := rc.pick(nil)
+		if cl == nil {
+			last = ErrNoConn
+			continue
+		}
+		var res WireResult
+		var err error
+		if attempt == 0 && rc.cfg.HedgeDelay > 0 {
+			res, err = rc.hedge(tenant, x, y, std, deadline, cl, sl)
+		} else {
+			res, err = cl.QueryInto(tenant, x, y, std, deadline)
+		}
+		if err == nil {
+			if sl.expStreak.Load() != 0 {
+				sl.expStreak.Store(0)
+			}
+			return res, nil
+		}
+		last = err
+		switch {
+		case isTransport(err):
+			// The connection died under this request; its fate is
+			// unknown, so condemn the connection and try another.
+			rc.markBroken(sl, cl)
+		case errors.Is(err, ErrRetry):
+			// Explicit server shed: the retry budget exists for this.
+		case errors.Is(err, ErrExpired):
+			rc.noteExpired(sl, cl)
+			return WireResult{}, err
+		default:
+			// Definitive answer (unknown tenant, server error, short
+			// buffer): retrying cannot change it.
+			return WireResult{}, err
+		}
+	}
+	return WireResult{}, last
+}
+
+// isTransport reports errors that condemn a connection rather than the
+// request: the wire died (ErrConnLost) or the pooled client was closed
+// under us by a concurrent markBroken.
+func isTransport(err error) bool {
+	return errors.Is(err, ErrConnLost) || errors.Is(err, ErrClientClosed)
+}
+
+// hedgeAnswer carries one hedged attempt's outcome.
+type hedgeAnswer struct {
+	res WireResult
+	err error
+	cl  *Client
+	sl  *rslot
+}
+
+// hedge runs the first attempt with a duplicate launched on another
+// connection if no answer lands within HedgeDelay; the first success
+// wins. Hedged attempts run through the allocating Query so the two
+// in-flight copies cannot share the caller's buffers.
+func (rc *ResilientClient) hedge(tenant string, x, y, std []float64, deadline time.Time, cl *Client, sl *rslot) (WireResult, error) {
+	ch := make(chan hedgeAnswer, 2)
+	launch := func(c *Client, s *rslot) {
+		go func() {
+			r, e := c.Query(tenant, x, deadline)
+			ch <- hedgeAnswer{res: r, err: e, cl: c, sl: s}
+		}()
+	}
+	launch(cl, sl)
+	inflight := 1
+	hedged := false
+	tm := time.NewTimer(rc.cfg.HedgeDelay)
+	defer tm.Stop()
+	var firstErr error
+	for inflight > 0 {
+		select {
+		case <-tm.C:
+			if !hedged {
+				hedged = true
+				if c2, s2 := rc.pick(sl); c2 != nil {
+					rc.hedges.Add(1)
+					launch(c2, s2)
+					inflight++
+				}
+			}
+		case a := <-ch:
+			inflight--
+			if a.err == nil {
+				if a.cl != cl {
+					rc.hedgeWins.Add(1)
+				}
+				a.sl.expStreak.Store(0)
+				return copyHedge(a.res, y, std)
+			}
+			if isTransport(a.err) {
+				rc.markBroken(a.sl, a.cl)
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+		}
+	}
+	return WireResult{}, firstErr
+}
+
+// copyHedge lands a hedged answer in the caller's buffers, preserving
+// QueryInto's aliasing contract.
+func copyHedge(res WireResult, y, std []float64) (WireResult, error) {
+	if len(res.Y) > len(y) {
+		return WireResult{}, errShortBuffer
+	}
+	copy(y, res.Y)
+	res.Y = y[:len(res.Y)]
+	if res.Std != nil && std != nil {
+		if len(res.Std) > len(std) {
+			return WireResult{}, errShortBuffer
+		}
+		copy(std, res.Std)
+		res.Std = std[:len(res.Std)]
+	} else {
+		res.Std = nil
+	}
+	return res, nil
+}
+
+// pick round-robins over live slots, skipping avoid (nil to allow all).
+// A one-connection pool has nothing to rotate, so it skips the counter.
+func (rc *ResilientClient) pick(avoid *rslot) (*Client, *rslot) {
+	n := len(rc.slots)
+	if n == 1 {
+		if sl := rc.slots[0]; sl != avoid {
+			if cl := sl.cl.Load(); cl != nil {
+				return cl, sl
+			}
+		}
+		return nil, nil
+	}
+	start := int(rc.next.Add(1) % uint64(n))
+	for i := 0; i < n; i++ {
+		sl := rc.slots[(start+i)%n]
+		if sl == avoid {
+			continue
+		}
+		if cl := sl.cl.Load(); cl != nil {
+			return cl, sl
+		}
+	}
+	return nil, nil
+}
+
+// markBroken swaps a condemned connection out of its slot and starts the
+// repair loop. The CAS makes condemnation single-winner: concurrent
+// callers seeing the same dead client race to nil it, and only the winner
+// closes and repairs.
+func (rc *ResilientClient) markBroken(sl *rslot, cl *Client) {
+	if !sl.cl.CompareAndSwap(cl, nil) {
+		return
+	}
+	go cl.Close()
+	rc.spawnRepair(sl)
+}
+
+// noteExpired advances a slot's consecutive-expiry streak; at
+// ExpireStreak the connection is condemned as blackholed — an open-but-
+// silent connection yields no transport error, so the streak is the only
+// crossing signal.
+func (rc *ResilientClient) noteExpired(sl *rslot, cl *Client) {
+	if rc.cfg.ExpireStreak <= 0 {
+		return
+	}
+	if sl.expStreak.Add(1) >= int32(rc.cfg.ExpireStreak) {
+		sl.expStreak.Store(0)
+		rc.markBroken(sl, cl)
+	}
+}
+
+// spawnRepair starts a slot's repair loop unless one is already running
+// or the client is closed. The closed check and WaitGroup add share the
+// shutdown mutex so a repair can never start after Close began waiting.
+func (rc *ResilientClient) spawnRepair(sl *rslot) {
+	if !sl.repairing.CompareAndSwap(false, true) {
+		return
+	}
+	rc.smu.Lock()
+	if rc.closed.Load() {
+		rc.smu.Unlock()
+		sl.repairing.Store(false)
+		return
+	}
+	rc.repairs.Add(1)
+	rc.smu.Unlock()
+	go rc.repair(sl)
+}
+
+// repair redials a slot under jittered exponential backoff until it
+// succeeds or the client closes. The first dial happens immediately — the
+// common failure is a server restart measured in milliseconds.
+func (rc *ResilientClient) repair(sl *rslot) {
+	defer rc.repairs.Done()
+	defer sl.repairing.Store(false)
+	back := rc.cfg.ReconnectBackoff
+	for {
+		if rc.closed.Load() {
+			return
+		}
+		cl, err := Dial(rc.addr, rc.cfg.Client)
+		if err == nil {
+			sl.expStreak.Store(0)
+			sl.cl.Store(cl)
+			rc.reconnects.Add(1)
+			if rc.closed.Load() {
+				// Close ran while we were dialing; don't leak the fresh
+				// connection past it.
+				if c := sl.cl.Swap(nil); c != nil {
+					c.Close()
+				}
+			}
+			return
+		}
+		select {
+		case <-rc.quit:
+			return
+		case <-time.After(rc.jitter(back)):
+		}
+		back *= 2
+		if back > rc.cfg.ReconnectBackoffMax {
+			back = rc.cfg.ReconnectBackoffMax
+		}
+	}
+}
+
+// breakerFor returns (creating on first use) the tenant's breaker, or nil
+// when breakers are disabled. A one-entry MRU cache serves the common
+// single-tenant-per-client case without touching the map lock.
+func (rc *ResilientClient) breakerFor(tenant string) *breaker {
+	if rc.cfg.Breaker.Disable {
+		return nil
+	}
+	if b := rc.lastBk.Load(); b != nil && b.tenant == tenant {
+		return b
+	}
+	rc.bmu.RLock()
+	b := rc.breakers[tenant]
+	rc.bmu.RUnlock()
+	if b == nil {
+		rc.bmu.Lock()
+		if b = rc.breakers[tenant]; b == nil {
+			b = newBreaker(rc.cfg.Breaker, tenant)
+			rc.breakers[tenant] = b
+		}
+		rc.bmu.Unlock()
+	}
+	rc.lastBk.Store(b)
+	return b
+}
+
+// jitter draws uniformly from [d/2, d).
+func (rc *ResilientClient) jitter(d time.Duration) time.Duration {
+	rc.rmu.Lock()
+	f := rc.rng.Float64()
+	rc.rmu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}

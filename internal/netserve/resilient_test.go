@@ -1,0 +1,280 @@
+package netserve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func TestResilientRoundTrip(t *testing.T) {
+	bk := &testBackend{in: 3, out: 2}
+	_, _, addr := newTestServer(t, fleet.Config{}, Config{}, map[string]serve.Backend{"m": bk})
+	rc, err := DialResilient(addr, ResilientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	y, std := make([]float64, 2), make([]float64, 2)
+	for i := 0; i < 200; i++ {
+		x := []float64{float64(i), 0.5, -0.25}
+		res, err := rc.QueryInto("m", x, y, std, time.Time{})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want := float64(i) + 0.5 - 0.25
+		if res.Y[0] != want || res.Y[1] != want+1 {
+			t.Fatalf("query %d: got %v, want [%v %v]", i, res.Y, want, want+1)
+		}
+	}
+	st := rc.Stats()
+	if st.Live != st.Conns {
+		t.Fatalf("healthy pool not fully live: %+v", st)
+	}
+}
+
+// TestResilientReconnect severs every pooled connection mid-load and
+// asserts the client retries onto repaired connections without surfacing
+// a transport error to steady callers for long.
+func TestResilientReconnect(t *testing.T) {
+	inj := chaos.New(3)
+	bk := &testBackend{in: 2, out: 1}
+	_, _, addr := newTestServer(t, fleet.Config{}, Config{}, map[string]serve.Backend{"m": bk})
+	rc, err := DialResilient(addr, ResilientConfig{
+		Conns:            2,
+		MaxAttempts:      5,
+		RetryBackoff:     time.Millisecond,
+		ReconnectBackoff: time.Millisecond,
+		Client:           ClientConfig{Dialer: inj.Dialer(nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	y, std := make([]float64, 1), make([]float64, 1)
+	query := func() error {
+		_, qerr := rc.QueryInto("m", []float64{1, 2}, y, std, time.Time{})
+		return qerr
+	}
+	if err := query(); err != nil {
+		t.Fatalf("healthy query: %v", err)
+	}
+
+	inj.KillAll()
+	// Every query must still resolve; transient ErrNoConn/ErrConnLost are
+	// the only acceptable failures, and success must return within the
+	// reconnect bound.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		err := query()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrNoConn) && !errors.Is(err, ErrConnLost) {
+			t.Fatalf("unexpected error during reconnect: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no recovery within 3s of KillAll")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := rc.Stats(); st.Reconnects == 0 {
+		t.Fatalf("recovered without reconnecting? %+v", st)
+	}
+}
+
+// TestResilientRetriesOverload drives a 1-in-flight fleet hard enough to
+// draw ErrRetry sheds and asserts the retry budget absorbs them.
+func TestResilientRetriesOverload(t *testing.T) {
+	bk := &testBackend{in: 2, out: 1, delay: 2 * time.Millisecond}
+	_, _, addr := newTestServer(t,
+		fleet.Config{MaxInFlight: 1, Coalescer: serve.Config{MaxBatch: 1}},
+		Config{}, map[string]serve.Backend{"m": bk})
+	rc, err := DialResilient(addr, ResilientConfig{
+		Conns:        1,
+		MaxAttempts:  8,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			y, std := make([]float64, 1), make([]float64, 1)
+			var last error
+			for j := 0; j < 16; j++ {
+				if _, last = rc.QueryInto("m", []float64{1, 2}, y, std, time.Time{}); last != nil {
+					break
+				}
+			}
+			done <- last
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil && !errors.Is(err, ErrRetry) {
+			t.Fatalf("worker failed: %v", err)
+		}
+	}
+}
+
+// TestResilientBreaker trips a tenant's breaker on a hard-failing tenant,
+// asserts shedding, then registers the tenant and asserts the half-open
+// probe closes the breaker again.
+func TestResilientBreaker(t *testing.T) {
+	bk := &testBackend{in: 2, out: 1}
+	fl, _, addr := newTestServer(t, fleet.Config{}, Config{}, map[string]serve.Backend{"m": bk})
+	rc, err := DialResilient(addr, ResilientConfig{
+		Breaker: BreakerConfig{MinSamples: 4, TripRate: 0.5, Cooldown: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	y, std := make([]float64, 1), make([]float64, 1)
+	query := func() error {
+		_, qerr := rc.QueryInto("ghost", []float64{1, 2}, y, std, time.Time{})
+		return qerr
+	}
+	// Unknown tenant is a definitive failure: the window fills and trips.
+	var tripped bool
+	for i := 0; i < 64; i++ {
+		err := query()
+		if errors.Is(err, ErrCircuitOpen) {
+			tripped = true
+			break
+		}
+		if !errors.Is(err, ErrUnknownTenant) {
+			t.Fatalf("want unknown-tenant, got %v", err)
+		}
+	}
+	if !tripped {
+		t.Fatal("breaker never opened on a 100% failing tenant")
+	}
+	var coe *CircuitOpenError
+	if err := query(); !errors.As(err, &coe) || coe.Tenant != "ghost" {
+		t.Fatalf("open breaker returned %v, want CircuitOpenError{ghost}", err)
+	}
+	shed := rc.Stats().BreakerShed
+	if shed == 0 {
+		t.Fatal("breaker sheds not counted")
+	}
+
+	// Heal the tenant; after the cooldown one probe goes through,
+	// succeeds, and closes the breaker.
+	if err := fl.Register("ghost", &testBackend{in: 2, out: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if err := query(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after tenant healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Closed again: consecutive queries flow with no sheds.
+	before := rc.Stats().BreakerShed
+	for i := 0; i < 32; i++ {
+		if err := query(); err != nil {
+			t.Fatalf("query after breaker close: %v", err)
+		}
+	}
+	if after := rc.Stats().BreakerShed; after != before {
+		t.Fatalf("breaker still shedding after close: %d → %d", before, after)
+	}
+}
+
+// TestResilientHedge arms hedging against a slow backend and asserts
+// duplicates launch and queries still answer exactly once.
+func TestResilientHedge(t *testing.T) {
+	bk := &testBackend{in: 2, out: 1, delay: 5 * time.Millisecond}
+	_, _, addr := newTestServer(t, fleet.Config{}, Config{}, map[string]serve.Backend{"m": bk})
+	rc, err := DialResilient(addr, ResilientConfig{
+		Conns:      2,
+		HedgeDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	y, std := make([]float64, 1), make([]float64, 1)
+	for i := 0; i < 32; i++ {
+		res, err := rc.QueryInto("m", []float64{1, 2}, y, std, time.Time{})
+		if err != nil {
+			t.Fatalf("hedged query %d: %v", i, err)
+		}
+		if res.Y[0] != 3 {
+			t.Fatalf("hedged query %d: got %v, want 3", i, res.Y[0])
+		}
+	}
+	if st := rc.Stats(); st.Hedges == 0 {
+		t.Fatalf("no hedges launched against a 5ms backend: %+v", st)
+	}
+}
+
+// TestResilientDeadlineBound asserts the retry loop refuses to sleep past
+// the caller's deadline: with every connection down, a short-deadline
+// query returns promptly rather than burning the full backoff ladder.
+func TestResilientDeadlineBound(t *testing.T) {
+	bk := &testBackend{in: 2, out: 1}
+	_, _, addr := newTestServer(t, fleet.Config{}, Config{}, map[string]serve.Backend{"m": bk})
+	inj := chaos.New(5)
+	rc, err := DialResilient(addr, ResilientConfig{
+		Conns:            1,
+		MaxAttempts:      10,
+		RetryBackoff:     100 * time.Millisecond,
+		ReconnectBackoff: time.Hour, // keep the slot down for the test
+		Client:           ClientConfig{Dialer: inj.Dialer(nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	inj.KillAll()
+	y, std := make([]float64, 1), make([]float64, 1)
+	start := time.Now()
+	_, qerr := rc.QueryInto("m", []float64{1, 2}, y, std, time.Now().Add(30*time.Millisecond))
+	if qerr == nil {
+		t.Fatal("query through a fully-dead pool succeeded")
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("deadline-bounded retry took %v, want well under the backoff ladder", el)
+	}
+}
+
+// TestResilientSteadyStateAllocs mirrors TestWireSteadyStateAllocs for
+// the hardened client: the healthy-path overhead is bookkeeping only.
+func TestResilientSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool puts; alloc counts are meaningless")
+	}
+	bk := &testBackend{in: 2, out: 1}
+	_, _, addr := newTestServer(t, fleet.Config{}, Config{}, map[string]serve.Backend{"m": bk})
+	rc, err := DialResilient(addr, ResilientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	x := []float64{0.25, -0.5}
+	y, std := make([]float64, 1), make([]float64, 1)
+	for i := 0; i < 512; i++ {
+		if _, err := rc.QueryInto("m", x, y, std, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if _, err := rc.QueryInto("m", x, y, std, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1.0 {
+		t.Fatalf("steady-state resilient query allocates %.2f objects/op, want ≈ 0", avg)
+	}
+}

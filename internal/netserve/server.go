@@ -48,6 +48,23 @@ type Config struct {
 	// its own rows (Result.Batch > burst size); self-contained bursts
 	// always flush immediately.
 	FlushSpins int
+	// ReadTimeout bounds each frame read: a connection that goes silent
+	// mid-frame for longer is torn down. 0 (the default) disables it —
+	// idle-but-healthy connections are normal for request/response
+	// clients, so this is opt-in.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write and flush (default 10s).
+	// Without it a peer that stops reading stalls this connection's
+	// writer forever, pinning its pooled bursts and — through the
+	// in-flight bound — eventually its reader. A stall past the deadline
+	// counts in Stats.WriteStalls and kills the connection. Negative
+	// disables.
+	WriteTimeout time.Duration
+	// MaxConnInFlight bounds how many decoded-but-unanswered requests one
+	// connection may hold (default 1024). At the bound the reader stops
+	// decoding until responses drain, so a fast writer cannot run the
+	// server out of pooled request state through a slow-reading peer.
+	MaxConnInFlight int
 }
 
 func (c *Config) fill() {
@@ -69,6 +86,15 @@ func (c *Config) fill() {
 	if c.FlushSpins <= 0 {
 		c.FlushSpins = 2
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
+	}
+	if c.MaxConnInFlight <= 0 {
+		c.MaxConnInFlight = 1024
+	}
 }
 
 // Stats is a snapshot of server-wide wire counters.
@@ -84,6 +110,9 @@ type Stats struct {
 	Flushes int64
 	// ProtoErrors counts connections killed by malformed frames.
 	ProtoErrors int64
+	// WriteStalls counts connections killed by the write-stall watchdog:
+	// a response write or flush that sat blocked past WriteTimeout.
+	WriteStalls int64
 }
 
 // reqCtx is one in-flight request's pooled state: the decoded row and the
@@ -193,7 +222,14 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup // one per live connection handler
 
-	conns64, open, reqs, resps, flushes, protoErrs atomic.Int64
+	draining atomic.Bool
+
+	conns64, open, reqs, resps, flushes, protoErrs, stalls atomic.Int64
+
+	// Pool-lease accounting: leased-minus-released must return to zero
+	// once every connection drains. The leak tests assert it; a nonzero
+	// residue means a teardown path lost pooled state.
+	rcLeases, rcReleases, buLeases, buReleases atomic.Int64
 }
 
 // NewServer builds a server over cfg.Fleet. It panics on a nil fleet —
@@ -220,11 +256,21 @@ func (s *Server) Stats() Stats {
 		Responses:   s.resps.Load(),
 		Flushes:     s.flushes.Load(),
 		ProtoErrors: s.protoErrs.Load(),
+		WriteStalls: s.stalls.Load(),
 	}
+}
+
+// poolBalance reports outstanding pooled objects: request contexts and
+// bursts leased but not yet recycled. Both are zero once every connection
+// has drained.
+func (s *Server) poolBalance() (reqs, bursts int64) {
+	return s.rcLeases.Load() - s.rcReleases.Load(),
+		s.buLeases.Load() - s.buReleases.Load()
 }
 
 // lease takes a recycled request context (or mints one).
 func (s *Server) lease() *reqCtx {
+	s.rcLeases.Add(1)
 	rc, _ := s.pool.Get().(*reqCtx)
 	if rc == nil {
 		rc = &reqCtx{}
@@ -232,10 +278,14 @@ func (s *Server) lease() *reqCtx {
 	return rc
 }
 
-func (s *Server) release(rc *reqCtx) { s.pool.Put(rc) }
+func (s *Server) release(rc *reqCtx) {
+	s.rcReleases.Add(1)
+	s.pool.Put(rc)
+}
 
 // leaseBurst takes a recycled burst (or mints one) reset for gathering.
 func (s *Server) leaseBurst() *burst {
+	s.buLeases.Add(1)
 	bu, _ := s.bpool.Get().(*burst)
 	if bu == nil {
 		bu = newBurst()
@@ -249,7 +299,10 @@ func (s *Server) leaseBurst() *burst {
 	return bu
 }
 
-func (s *Server) releaseBurst(bu *burst) { s.bpool.Put(bu) }
+func (s *Server) releaseBurst(bu *burst) {
+	s.buReleases.Add(1)
+	s.bpool.Put(bu)
+}
 
 // Serve accepts connections on ln until Close (or a listener error) and
 // handles each on its own goroutine set. It blocks; run it in a
@@ -287,6 +340,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			c:     c,
 			work:  make(chan *burst, 2*s.cfg.WorkersPerConn),
 			wq:    make(chan *burst, 2*s.cfg.WorkersPerConn),
+			sem:   make(chan struct{}, s.cfg.MaxConnInFlight),
 			names: make(map[string]string),
 		}
 		s.mu.Lock()
@@ -315,11 +369,21 @@ func (s *Server) ListenAndServe(addr string) error {
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("netserve: server closed")
 
+// BeginDrain marks the server draining, flipping /readyz not-ready before
+// any listener closes — the load balancer stops routing new work to this
+// replica while it still answers everything in flight. Close calls it
+// implicitly; calling it ahead of Close gives the balancer a head start.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Close) has run.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close drains the server: listeners stop accepting, every connection
 // stops reading new frames, requests already decoded are served and their
 // responses flushed, then the connections close. Idempotent. The fleet is
 // not touched — it belongs to the caller.
 func (s *Server) Close() error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -346,6 +410,14 @@ type serverConn struct {
 	c    net.Conn
 	work chan *burst // reader → workers
 	wq   chan *burst // workers → writer
+	// sem holds one token per decoded-but-unanswered request (cap
+	// MaxConnInFlight): acquired by the reader before leasing a request
+	// context, released by the writer after recycling it.
+	sem chan struct{}
+	// readDone flips before the read side shuts so the reader's periodic
+	// SetReadDeadline(now+ReadTimeout) cannot revive a connection that
+	// closeRead already expired via its deadline fallback.
+	readDone atomic.Bool
 	// names interns tenant-name bytes → string once per connection, so
 	// the steady-state lookup (m[string(frameBytes)], which the compiler
 	// performs without materializing the string) never allocates.
@@ -359,6 +431,7 @@ type serverConn struct {
 // unblocks and the drain sequence starts; in-flight requests still get
 // their responses written.
 func (cn *serverConn) closeRead() {
+	cn.readDone.Store(true)
 	type readCloser interface{ CloseRead() error }
 	if rc, ok := cn.c.(readCloser); ok {
 		rc.CloseRead()
@@ -415,6 +488,12 @@ func (cn *serverConn) readLoop() {
 	br := bufio.NewReaderSize(cn.c, s.cfg.ReadBuffer)
 	buf := make([]byte, 0, 4096)
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			if cn.readDone.Load() {
+				return
+			}
+			cn.c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		var err error
 		buf, err = readFrame(br, buf, s.cfg.MaxFrame)
 		if err != nil {
@@ -433,6 +512,17 @@ func (cn *serverConn) readLoop() {
 		if bu != nil && (bu.name != name || len(bu.reqs) >= s.cfg.MaxBurst) {
 			cn.work <- bu
 			bu = nil
+		}
+		select {
+		case cn.sem <- struct{}{}:
+		default:
+			// In-flight bound reached: submit what is gathered so its
+			// completions can free tokens, then block for one.
+			if bu != nil {
+				cn.work <- bu
+				bu = nil
+			}
+			cn.sem <- struct{}{}
 		}
 		if bu == nil {
 			bu = s.leaseBurst()
@@ -523,15 +613,20 @@ func (cn *serverConn) writeLoop() {
 	var werr error
 	write := func(bu *burst) bool {
 		more := bu.maxBatch > len(bu.reqs)
+		if werr == nil && s.cfg.WriteTimeout > 0 {
+			cn.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		for _, rc := range bu.reqs {
 			if werr == nil {
 				if _, werr = bw.Write(rc.out); werr != nil {
-					// The peer is gone: stop the reader too.
-					cn.closeRead()
+					// The peer is gone (or stalled past the write
+					// deadline): stop the reader too.
+					cn.noteWriteError(werr)
 				}
 				s.resps.Add(1)
 			}
 			s.release(rc)
+			<-cn.sem
 		}
 		s.releaseBurst(bu)
 		return more
@@ -558,14 +653,31 @@ func (cn *serverConn) writeLoop() {
 			}
 		}
 		if werr == nil {
+			if s.cfg.WriteTimeout > 0 {
+				cn.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
 			if werr = bw.Flush(); werr != nil {
-				cn.closeRead()
+				cn.noteWriteError(werr)
 			} else {
 				s.flushes.Add(1)
 			}
 		}
 	}
 	if werr == nil {
+		if s.cfg.WriteTimeout > 0 {
+			cn.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		bw.Flush()
 	}
+}
+
+// noteWriteError classifies a response-path write failure — a deadline
+// miss is a write stall, anything else a dead peer — and stops the reader
+// so the connection tears down.
+func (cn *serverConn) noteWriteError(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		cn.srv.stalls.Add(1)
+	}
+	cn.closeRead()
 }

@@ -289,6 +289,37 @@ type (
 	// LatencyHist is the log-linear latency histogram the wire loadtest
 	// and benchmarks record into.
 	LatencyHist = netserve.Hist
+	// WireResilientClient is the failure-hardened wire client: a pool of
+	// multiplexed connections with automatic reconnect, deadline-aware
+	// retries, optional hedging and per-tenant circuit breaking.
+	WireResilientClient = netserve.ResilientClient
+	// WireResilientConfig tunes a WireResilientClient.
+	WireResilientConfig = netserve.ResilientConfig
+	// WireBreakerConfig tunes the per-tenant circuit breakers.
+	WireBreakerConfig = netserve.BreakerConfig
+	// WireResilientStats snapshots a resilient client's failure counters.
+	WireResilientStats = netserve.ResilientStats
+	// WireCircuitOpenError names the tenant an open breaker shed; match
+	// with errors.Is against ErrWireCircuitOpen.
+	WireCircuitOpenError = netserve.CircuitOpenError
+	// BrownoutConfig tunes the fleet's brownout controller (set it on
+	// FleetConfig.Brownout): graceful fidelity degradation — prefer the
+	// quantized program, then cap MC-dropout passes, then single-pass
+	// UQ-off — for tenants breaching their latency or shed-rate SLOs.
+	BrownoutConfig = fleet.BrownoutConfig
+)
+
+// Brownout ladder levels, as reported by TenantStats.BrownoutLevel.
+const (
+	// BrownoutOff serves at full fidelity.
+	BrownoutOff = core.BrownoutOff
+	// BrownoutPreferQuant serves surrogate lookups from the int8
+	// quantized program when one is compiled.
+	BrownoutPreferQuant = core.BrownoutPreferQuant
+	// BrownoutReducedMC caps MC-dropout uncertainty passes.
+	BrownoutReducedMC = core.BrownoutReducedMC
+	// BrownoutNoUQ serves single-pass with the UQ gate disabled.
+	BrownoutNoUQ = core.BrownoutNoUQ
 )
 
 // Wire status errors, re-exported. A WireClient maps every non-OK
@@ -306,6 +337,16 @@ var (
 	ErrWireClientClosed = netserve.ErrClientClosed
 	// ErrWireServerClosed is returned by WireServer.Serve after Close.
 	ErrWireServerClosed = netserve.ErrServerClosed
+	// ErrWireConnLost is the transport-failure sentinel: the connection
+	// died under an in-flight query, fate unknown. A WireResilientClient
+	// retries these on another connection.
+	ErrWireConnLost = netserve.ErrConnLost
+	// ErrWireNoConn is returned while every pooled connection of a
+	// WireResilientClient is down and reconnecting.
+	ErrWireNoConn = netserve.ErrNoConn
+	// ErrWireCircuitOpen matches queries shed by an open per-tenant
+	// circuit breaker (the concrete error is a *WireCircuitOpenError).
+	ErrWireCircuitOpen = netserve.ErrCircuitOpen
 )
 
 // NewWireServer builds a TCP wire server over cfg.Fleet; run Serve (or
@@ -315,6 +356,13 @@ func NewWireServer(cfg WireServerConfig) *WireServer { return netserve.NewServer
 // DialWire connects a multiplexed wire client to a WireServer.
 func DialWire(addr string, cfg WireClientConfig) (*WireClient, error) {
 	return netserve.Dial(addr, cfg)
+}
+
+// DialWireResilient builds a failure-hardened wire client pool against a
+// WireServer. Connections that fail to dial repair in the background;
+// only a fully failed pool returns an error.
+func DialWireResilient(addr string, cfg WireResilientConfig) (*WireResilientClient, error) {
+	return netserve.DialResilient(addr, cfg)
 }
 
 // RunWireLoad drives an open- or closed-loop loadtest against a wire
