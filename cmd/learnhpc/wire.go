@@ -42,7 +42,19 @@ func runServe(args []string) {
 	maxBatch := fs.Int("max-batch", 64, "per-tenant coalescer batch bound")
 	brownP99 := fs.Duration("brownout-p99", 0, "p99 latency SLO that arms the brownout controller (0 = off)")
 	brownShed := fs.Float64("brownout-shed", 0, "tolerated admission-shed fraction before brownout (0 = off)")
+	regDir := fs.String("registry", "", "artifact registry directory: warm-start tenants from it and persist every published generation (empty disables)")
+	rollback := fs.Float64("rollback-factor", 0, "drift ratio that auto-rolls a tenant shard back one registry generation (0 = off; needs -registry)")
 	fs.Parse(args)
+
+	var reg *repro.Registry
+	if *regDir != "" {
+		var err error
+		if reg, err = repro.OpenRegistry(repro.RegistryConfig{Dir: *regDir}); err != nil {
+			fmt.Fprintf(os.Stderr, "learnhpc serve: registry: %v\n", err)
+			os.Exit(1)
+		}
+		defer reg.Close()
+	}
 
 	fl := repro.NewFleet(repro.FleetConfig{
 		Coalescer: repro.CoalescerConfig{MaxBatch: *maxBatch},
@@ -65,11 +77,42 @@ func runServe(args []string) {
 			s.Epochs = 120
 			s.MCPasses = 8
 		})
-		w := repro.NewShardedWrapper(oracle, fac, repro.ShardedConfig{
+		scfg := repro.ShardedConfig{
 			Router:          repro.HashRouter{Shards: 2},
 			MinTrainSamples: 40,
 			UQThreshold:     10, // serve from the surrogate; this is a wire demo
-		})
+		}
+		if *rollback > 0 {
+			// The drift watch compares each shard's residual EWMA against
+			// its publish-time baseline; the wrapper must track it.
+			scfg.DriftFactor = *rollback / 2
+		}
+		w := repro.NewShardedWrapper(oracle, fac, scfg)
+		if err := fl.Register(name, w); err != nil {
+			fmt.Fprintf(os.Stderr, "learnhpc serve: register %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		warmed := 0
+		if reg != nil {
+			var err error
+			warmed, err = fl.BindRegistry(name, repro.FleetRegistryConfig{
+				Registry:       reg,
+				RollbackFactor: *rollback,
+				OnError: func(err error) {
+					fmt.Fprintf(os.Stderr, "learnhpc serve: %v\n", err)
+				},
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "learnhpc serve: bind registry %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		if warmed == w.NumShards() {
+			// Every shard restored a durable generation: serve immediately,
+			// zero retraining.
+			fmt.Printf("tenant %-10s warm-started from registry (%d shards)\n", name, warmed)
+			continue
+		}
 		design := repro.NewMatrix(160, 2)
 		for i := 0; i < design.Rows; i++ {
 			design.Set(i, 0, rng.Range(-1, 1))
@@ -77,10 +120,6 @@ func runServe(args []string) {
 		}
 		if err := w.Pretrain(design); err != nil {
 			fmt.Fprintf(os.Stderr, "learnhpc serve: pretrain %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		if err := fl.Register(name, w); err != nil {
-			fmt.Fprintf(os.Stderr, "learnhpc serve: register %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("tenant %-10s pretrained and registered\n", name)

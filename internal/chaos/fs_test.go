@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The injector's crash model: the armed op fails, every later mutating
+// op fails with ErrCrashed, and a torn write leaves a prefix on disk.
+func TestFaultFSCrashModel(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+
+	// Op 1: create. Op 2: write (armed) — torn. Op 3+: dead.
+	ffs.Arm(2)
+	f, err := ffs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write committed %d bytes, want %d", n, len(payload)/2)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	f.Close()
+	if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if got, _ := os.ReadFile(filepath.Join(dir, "a")); string(got) != "01234567" {
+		t.Fatalf("on-disk prefix %q", got)
+	}
+	if ffs.Faults() != 1 || !ffs.Crashed() {
+		t.Fatalf("faults=%d crashed=%v", ffs.Faults(), ffs.Crashed())
+	}
+
+	// Disarm resurrects the filesystem and restarts the op count.
+	ffs.Disarm()
+	if ffs.Crashed() || ffs.Ops() != 0 {
+		t.Fatal("disarm did not reset")
+	}
+	if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Short reads return truncated content with no error — only a checksum
+// can catch them.
+func TestFaultFSShortRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(nil)
+	ffs.SetShortRead(0.5)
+	got, err := ffs.ReadFile(path)
+	if err != nil || string(got) != "01234" {
+		t.Fatalf("short read: %q, %v", got, err)
+	}
+	ffs.SetShortRead(0)
+	got, err = ffs.ReadFile(path)
+	if err != nil || len(got) != 10 {
+		t.Fatalf("full read: %q, %v", got, err)
+	}
+}

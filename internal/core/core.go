@@ -624,7 +624,55 @@ type Wrapper struct {
 	// BrownoutNoUQ), moved by SetBrownoutLevel.
 	brownout atomic.Int32
 
+	// publishHook, when set, observes every successful (re)train — the
+	// registry-persistence seam.
+	publishHook atomic.Pointer[PublishHook]
+
 	ledgerBox // ledger lock is always acquired after mu
+}
+
+// PublishHook observes a freshly trained surrogate the moment it starts
+// serving: shard is the owning shard index (always 0 for the unsharded
+// Wrapper), sur the model now published, residBase its publish-time
+// in-sample residual (the drift baseline; 0 when drift tracking is
+// off). Hooks run synchronously on the training path — after the swap,
+// never blocking readers — and must not call back into the wrapper.
+type PublishHook func(shard int, sur Surrogate, residBase float64)
+
+// SetPublishHook installs (or, with nil, removes) the publish observer.
+// Safe for concurrent use with serving and training.
+func (w *Wrapper) SetPublishHook(h PublishHook) {
+	if h == nil {
+		w.publishHook.Store(nil)
+		return
+	}
+	w.publishHook.Store(&h)
+}
+
+// notifyPublish fires the publish hook for a model that just started
+// serving.
+func (w *Wrapper) notifyPublish(sur Surrogate, residBase float64) {
+	if hp := w.publishHook.Load(); hp != nil {
+		(*hp)(0, sur, residBase)
+	}
+}
+
+// WarmStart installs a pre-trained surrogate (typically decoded from a
+// registry artifact) as the serving model, but only while the wrapper
+// has never trained one of its own — a live model always outranks a
+// restored one. The training data window, retrain schedule, and future
+// refits are untouched: the wrapper's next Train replaces the warm
+// model exactly as it would any other. Returns whether the model was
+// installed.
+func (w *Wrapper) WarmStart(sur Surrogate) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.surrogate.Trained() {
+		return false
+	}
+	applyMCCap(sur, int(w.brownout.Load()))
+	w.surrogate = sur
+	return true
 }
 
 // SetBrownoutLevel moves the wrapper to an absolute brownout ladder
@@ -1030,6 +1078,9 @@ func (w *Wrapper) maybeTrainLocked() error {
 	rows := w.xs.Rows
 	w.record(func(l *Ledger) { l.RecordTraining(dt, rows) })
 	w.newSinceTrain = 0
+	if w.publishHook.Load() != nil {
+		w.notifyPublish(w.surrogate, driftBaseline(w.surrogate, w.xs, w.ys))
+	}
 	return nil
 }
 
@@ -1061,6 +1112,9 @@ func (w *Wrapper) Pretrain(design *tensor.Matrix) error {
 	rows := w.xs.Rows
 	w.record(func(l *Ledger) { l.RecordTraining(dt, rows) })
 	w.newSinceTrain = 0
+	if w.publishHook.Load() != nil {
+		w.notifyPublish(w.surrogate, driftBaseline(w.surrogate, w.xs, w.ys))
+	}
 	return nil
 }
 

@@ -220,6 +220,7 @@ const driftBaselineRows = 256
 // generation, so a slow refit finishing late can never overwrite a model
 // trained on a newer snapshot (e.g. by a concurrent TrainAll).
 type shard struct {
+	idx    int // position in ShardedWrapper.shards, for publish hooks
 	active atomic.Pointer[Surrogate]
 
 	mu            sync.Mutex // everything below
@@ -304,10 +305,12 @@ func flooredBase(base float64) float64 {
 	return base
 }
 
-// driftBaselineFor evaluates driftBaseline only when drift tracking is
-// configured; disabled tracking skips the snapshot sweep entirely.
+// driftBaselineFor evaluates driftBaseline only when someone consumes
+// it — drift tracking is configured or a publish hook (which carries
+// the baseline into registry artifacts) is installed; otherwise the
+// snapshot sweep is skipped entirely.
 func (w *ShardedWrapper) driftBaselineFor(sur Surrogate, snapX, snapY *tensor.Matrix) float64 {
-	if w.cfg.DriftFactor <= 0 {
+	if w.cfg.DriftFactor <= 0 && w.publishHook.Load() == nil {
 		return 0
 	}
 	return driftBaseline(sur, snapX, snapY)
@@ -379,7 +382,76 @@ type ShardedWrapper struct {
 	// BrownoutNoUQ), moved by SetBrownoutLevel.
 	brownout atomic.Int32
 
+	// publishHook, when set, observes every generation that wins its
+	// publish race — the registry-persistence seam.
+	publishHook atomic.Pointer[PublishHook]
+
 	ledgerBox
+}
+
+// SetPublishHook installs (or, with nil, removes) the publish observer:
+// it fires once per shard generation that actually starts serving
+// (publishes discarded by the generation-order race are not reported),
+// synchronously on the refit goroutine, after the pointer swap. Safe
+// for concurrent use with serving and refits.
+func (w *ShardedWrapper) SetPublishHook(h PublishHook) {
+	if h == nil {
+		w.publishHook.Store(nil)
+		return
+	}
+	w.publishHook.Store(&h)
+}
+
+// notifyPublish fires the publish hook for a shard generation that just
+// started serving.
+func (w *ShardedWrapper) notifyPublish(shardIdx int, sur Surrogate, residBase float64) {
+	if hp := w.publishHook.Load(); hp != nil {
+		(*hp)(shardIdx, sur, residBase)
+	}
+}
+
+// WarmStart installs a pre-trained surrogate (typically decoded from a
+// registry artifact) as shard si's serving model, but only while the
+// shard has never published a generation of its own — live training
+// always outranks a restored model. residBase seeds the drift tracker
+// with the baseline the artifact carried, so drift detection resumes
+// where the publisher left off. The shard's Generation stays -1: the
+// restored model is generation "before zero", and the first real refit
+// replaces it through the ordinary publish race. Returns whether the
+// model was installed.
+func (w *ShardedWrapper) WarmStart(si int, sur Surrogate, residBase float64) bool {
+	s := w.shards[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.publishedGen >= 0 || s.active.Load() != nil {
+		return false
+	}
+	applyMCCap(sur, int(w.brownout.Load()))
+	s.active.Store(&sur)
+	s.residBase, s.residEWMA = residBase, residBase
+	return true
+}
+
+// Reinstall force-publishes a surrogate on shard si as a fresh snapshot
+// generation — the rollback path. Claiming a new generation (rather
+// than rewinding to an old one) keeps the publish order monotonic: any
+// refit already in flight on an older snapshot loses the publish race
+// to the reinstalled model instead of immediately re-serving the model
+// being rolled away from. Drift state resets to residBase. The publish
+// hook is NOT fired — rollback restores an artifact the registry
+// already holds.
+func (w *ShardedWrapper) Reinstall(si int, sur Surrogate, residBase float64) {
+	s := w.shards[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.nextSnapGen
+	s.nextSnapGen++
+	s.publishedGen = gen
+	applyMCCap(sur, int(w.brownout.Load()))
+	s.active.Store(&sur)
+	s.residBase, s.residEWMA = residBase, residBase
+	s.drifted = false
+	s.driftGen = gen
 }
 
 // SetBrownoutLevel moves every shard to an absolute brownout ladder
@@ -452,7 +524,8 @@ func NewShardedWrapper(oracle Oracle, factory SurrogateFactory, cfg ShardedConfi
 	w.refitDone = sync.NewCond(&w.refitMu)
 	for i := 0; i < cfg.Shards; i++ {
 		w.shards = append(w.shards, &shard{
-			xs: tensor.NewMatrix(0, in), ys: tensor.NewMatrix(0, out),
+			idx: i,
+			xs:  tensor.NewMatrix(0, in), ys: tensor.NewMatrix(0, out),
 			retain:       newRetainer(cfg.Retention, 0x5aa2d+uint64(i)*0x9e3779b9),
 			publishedGen: -1,
 		})
@@ -796,7 +869,10 @@ func (w *ShardedWrapper) refit(s *shard, snapX, snapY *tensor.Matrix, gen, consu
 	// A generation trained mid-brownout publishes already capped, so the
 	// swap cannot silently restore full MC cost under overload.
 	applyMCCap(sur, int(w.brownout.Load()))
-	s.publishIfNewer(sur, gen, w.driftBaselineFor(sur, snapX, snapY))
+	base := w.driftBaselineFor(sur, snapX, snapY)
+	if s.publishIfNewer(sur, gen, base) {
+		w.notifyPublish(s.idx, sur, base)
+	}
 	// Samples may have piled past the retrain threshold while this fit
 	// ran; chain one follow-up so a busy shard cannot go stale.
 	s.mu.Lock()
@@ -1064,7 +1140,10 @@ func (w *ShardedWrapper) TrainAll() error {
 		dt := time.Since(t0)
 		w.record(func(l *Ledger) { l.RecordTraining(dt, snapX.Rows) })
 		applyMCCap(sur, int(w.brownout.Load()))
-		s.publishIfNewer(sur, gen, w.driftBaselineFor(sur, snapX, snapY))
+		base := w.driftBaselineFor(sur, snapX, snapY)
+		if s.publishIfNewer(sur, gen, base) {
+			w.notifyPublish(s.idx, sur, base)
+		}
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -132,6 +132,10 @@ type tenant struct {
 	bdowns   atomic.Int64
 	bups     atomic.Int64
 
+	// binding is the tenant's live registry attachment (nil when
+	// unbound); see BindRegistry.
+	binding atomic.Pointer[registryBinding]
+
 	// lats is a power-of-two ring of recent query latencies (ns),
 	// written with atomic stores so Stats can read concurrently.
 	lats   []int64
@@ -257,7 +261,11 @@ func (f *Fleet) Deregister(name string) error {
 	}
 	delete(f.tenants, name)
 	f.mu.Unlock()
-	return t.co.Close()
+	err := t.co.Close()
+	if b := t.binding.Swap(nil); b != nil {
+		b.close()
+	}
+	return err
 }
 
 // Close deregisters every tenant, draining each coalescer, and marks the
@@ -281,6 +289,9 @@ func (f *Fleet) Close() error {
 	}
 	for _, t := range ts {
 		t.co.Close()
+		if b := t.binding.Swap(nil); b != nil {
+			b.close()
+		}
 	}
 	return nil
 }
@@ -560,6 +571,15 @@ type TenantStats struct {
 	// controller is disabled or the backend cannot degrade.
 	BrownoutLevel              int
 	BrownoutDowns, BrownoutUps int64
+	// RegistryGeneration is the newest artifact generation committed
+	// across the tenant's registry shard keys, and RegistryPublishes /
+	// RegistryRollbacks / RegistryQuarantines the registry's durability
+	// counters summed over them. All zero while the tenant is not bound
+	// to a registry (see BindRegistry).
+	RegistryGeneration  uint64
+	RegistryPublishes   int64
+	RegistryRollbacks   int64
+	RegistryQuarantines int64
 }
 
 // statuser is the optional backend face that exposes per-shard refit
@@ -605,6 +625,13 @@ func (t *tenant) snapshot() TenantStats {
 	st.BrownoutLevel = int(t.brownout.Load())
 	st.BrownoutDowns = t.bdowns.Load()
 	st.BrownoutUps = t.bups.Load()
+	if b := t.binding.Load(); b != nil {
+		gen, rs := b.stats()
+		st.RegistryGeneration = gen
+		st.RegistryPublishes = rs.Publishes
+		st.RegistryRollbacks = rs.Rollbacks
+		st.RegistryQuarantines = rs.Quarantines
+	}
 	// QPS over the window since the previous snapshot.
 	t.statsMu.Lock()
 	now := time.Now()

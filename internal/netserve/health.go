@@ -51,6 +51,10 @@ type tenantHealth struct {
 	BrownoutLevel int     `json:"brownout_level"`
 	BrownoutDowns int64   `json:"brownout_downs"`
 	BrownoutUps   int64   `json:"brownout_ups"`
+	RegGeneration uint64  `json:"registry_generation"`
+	RegPublishes  int64   `json:"registry_publishes"`
+	RegRollbacks  int64   `json:"registry_rollbacks"`
+	RegQuarantine int64   `json:"registry_quarantines"`
 }
 
 // statsz is the JSON shape of /statsz.
@@ -106,6 +110,10 @@ func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 					BrownoutLevel: st.BrownoutLevel,
 					BrownoutDowns: st.BrownoutDowns,
 					BrownoutUps:   st.BrownoutUps,
+					RegGeneration: st.RegistryGeneration,
+					RegPublishes:  st.RegistryPublishes,
+					RegRollbacks:  st.RegistryRollbacks,
+					RegQuarantine: st.RegistryQuarantines,
 				}
 			}
 		}

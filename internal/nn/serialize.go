@@ -44,24 +44,54 @@ func (n *Network) Save(w io.Writer) error {
 }
 
 // Load reads a network previously written by Save. The supplied rng powers
-// dropout masks for MC inference on the restored model.
+// dropout masks for MC inference on the restored model. The payload is
+// fully validated — geometry, weight lengths, activation and dropout
+// ranges — so a corrupt stream fails closed here instead of panicking
+// later in Compile or NewDense.
 func Load(r io.Reader, rng *xrand.Rand) (*Network, error) {
 	var spec netSpec
 	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
 		return nil, fmt.Errorf("nn: load: %w", err)
 	}
+	return buildNetwork(spec.Layers, rng)
+}
+
+// buildNetwork validates a deserialized layer-spec list (from gob or the
+// binary artifact format) and constructs the network. Nothing in specs is
+// trusted: dimensions must be positive and consistent along the layer
+// chain, weight/bias lengths must match the declared geometry, the
+// activation must be a known one and dropout P must be in [0, 1).
+func buildNetwork(specs []layerSpec, rng *xrand.Rand) (*Network, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("nn: load: network has no layers")
+	}
 	var layers []Layer
-	for i, ls := range spec.Layers {
+	width := -1 // activation width flowing into the next layer; -1 until the first dense
+	for i, ls := range specs {
 		switch ls.Kind {
 		case "dense":
+			if ls.In <= 0 || ls.Out <= 0 {
+				return nil, fmt.Errorf("nn: load: layer %d has non-positive dims %dx%d", i, ls.In, ls.Out)
+			}
+			if ls.Act < Identity || ls.Act > Sigmoid {
+				return nil, fmt.Errorf("nn: load: layer %d has unknown activation %d", i, ls.Act)
+			}
 			if len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
-				return nil, fmt.Errorf("nn: load: layer %d weight size mismatch", i)
+				return nil, fmt.Errorf("nn: load: layer %d weight size mismatch (W %d want %d, B %d want %d)",
+					i, len(ls.W), ls.In*ls.Out, len(ls.B), ls.Out)
+			}
+			if width >= 0 && width != ls.In {
+				return nil, fmt.Errorf("nn: load: layer %d fan-in %d breaks width chain %d", i, ls.In, width)
 			}
 			d := NewDense(ls.In, ls.Out, ls.Act, rng)
 			copy(d.W.Data, ls.W)
 			copy(d.B.Data, ls.B)
 			layers = append(layers, d)
+			width = ls.Out
 		case "dropout":
+			if !(ls.P >= 0 && ls.P < 1) {
+				return nil, fmt.Errorf("nn: load: layer %d dropout P %v out of range [0, 1)", i, ls.P)
+			}
 			layers = append(layers, NewDropout(ls.P))
 		default:
 			return nil, fmt.Errorf("nn: load: unknown layer kind %q", ls.Kind)

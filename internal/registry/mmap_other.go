@@ -1,0 +1,15 @@
+//go:build !unix
+
+package registry
+
+import "os"
+
+// mmapFile on platforms without the unix mmap surface degrades to a
+// plain read: same contract, one copy instead of zero.
+func mmapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package registry
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the bytes plus an unmap
+// callback. The mapping pins the inode, so the file staying readable
+// does not depend on its directory entry surviving later GC or
+// quarantine renames. An empty file maps to an empty (unmappable)
+// slice, which the artifact verifier rejects like any other truncation.
+func mmapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

@@ -65,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/netserve"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -368,6 +369,39 @@ func DialWireResilient(addr string, cfg WireResilientConfig) (*WireResilientClie
 // RunWireLoad drives an open- or closed-loop loadtest against a wire
 // server and returns the merged report.
 func RunWireLoad(cfg WireLoadConfig) (*WireLoadReport, error) { return netserve.RunLoad(cfg) }
+
+// Crash-safe artifact registry, re-exported from internal/registry: a
+// versioned on-disk store of surrogate artifacts with atomic
+// torn-write-proof publishes, checksum-verified zero-copy (mmap) opens,
+// quarantine of corrupt generations, and rollback. Bind a fleet tenant
+// with Fleet.BindRegistry to warm-start it from its newest durable
+// generation (zero retraining), persist every generation it publishes,
+// and auto-roll-back drift regressions.
+type (
+	// Registry is the crash-safe versioned artifact store.
+	Registry = registry.Registry
+	// RegistryConfig configures OpenRegistry (Dir is required).
+	RegistryConfig = registry.Config
+	// RegistryStats snapshots publish/rollback/quarantine/open counters.
+	RegistryStats = registry.Stats
+	// RegistryHandle is one opened artifact generation.
+	RegistryHandle = registry.Handle
+	// FleetRegistryConfig binds one fleet tenant to a Registry (see
+	// Fleet.BindRegistry).
+	FleetRegistryConfig = fleet.RegistryConfig
+)
+
+// Registry errors, re-exported.
+var (
+	// ErrRegistryNotFound reports a name with no servable generation.
+	ErrRegistryNotFound = registry.ErrNotFound
+	// ErrRegistryNoPredecessor reports a rollback with nowhere to go.
+	ErrRegistryNoPredecessor = registry.ErrNoPredecessor
+)
+
+// OpenRegistry opens (creating if needed) a crash-safe artifact registry
+// rooted at cfg.Dir.
+func OpenRegistry(cfg RegistryConfig) (*Registry, error) { return registry.Open(cfg) }
 
 // EffectiveSpeedup evaluates the paper's §III-D formula.
 func EffectiveSpeedup(tseq, ttrain, tlearn, tlookup, nlookup, ntrain float64) float64 {
