@@ -46,6 +46,12 @@ func main() {
 		case "loadtest":
 			runLoadtest(os.Args[2:])
 			return
+		case "worker":
+			runWorker(os.Args[2:])
+			return
+		case "route":
+			runRoute(os.Args[2:])
+			return
 		}
 	}
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
@@ -148,6 +154,9 @@ experiments:
 wire subcommands (their own flags; see learnhpc <cmd> -h):
   serve     put a demo fleet on the TCP wire with health endpoints
   loadtest  open-loop QPS generator + latency histogram against a wire address
+  worker    empty wire server that serves tenants a router places on it
+  route     dispatch tier: consistent-hash placement + zero-copy forwarding
+            over a set of workers, with mirrored-artifact warm failover
 `)
 	flag.PrintDefaults()
 }

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -368,6 +370,167 @@ func main() {
 	fmt.Printf("  outage: %d/5 queries failed with typed errors (no hangs, no silent drops)\n", typed)
 	fmt.Printf("  recovered %v after restart: %d/%d connections live, %d reconnects, %d retries\n",
 		back.Round(time.Millisecond), rst.Live, rst.Conns, rst.Reconnects, rst.Retries)
+
+	fmt.Println("\nPhase 7: dispatch tier — two workers, consistent-hash placement, warm failover")
+	// The tiers above scale one process. The dispatch tier scales out:
+	// worker processes each run their own fleet + artifact registry, and a
+	// router in front places tenants across them by consistent hashing,
+	// splicing query frames through without ever decoding a row. The
+	// router mirrors every generation the workers publish; when a worker
+	// dies mid-traffic, its tenants rehash onto survivors and warm-start
+	// from the mirrored artifacts — zero retraining, proven here by the
+	// survivor's oracle-run counter staying flat across the failover.
+	dir, err := os.MkdirTemp("", "fleet-routed-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	oracleFns := map[string]func([]float64) []float64{}
+	for _, spec := range specs {
+		oracleFns[spec.name] = spec.f
+	}
+	wa := startRoutedWorker(filepath.Join(dir, "a"), 1, oracleFns)
+	wb := startRoutedWorker(filepath.Join(dir, "b"), 2, oracleFns)
+	mirror, err := repro.OpenRegistry(repro.RegistryConfig{Dir: filepath.Join(dir, "mirror")})
+	if err != nil {
+		panic(err)
+	}
+	defer mirror.Close()
+	names := []string{"potential", "tissue", "epi"}
+	rt, err := repro.NewWireRouter(repro.WireRouterConfig{
+		Workers:        []string{wa.addr, wb.addr},
+		Registry:       mirror,
+		Tenants:        names,
+		MirrorInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	lnr, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go rt.Serve(lnr)
+	rrc, err := repro.DialWireResilient(lnr.Addr().String(), repro.WireResilientConfig{Conns: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer rrc.Close()
+
+	// Wait until every tenant serves through the router and the mirror
+	// holds each one's latest generation (the failover warm-start source).
+	waitRouted := func(name string) time.Duration {
+		t0 := time.Now()
+		for {
+			if _, err := rrc.Query(name, []float64{0.2, -0.1}, time.Now().Add(time.Second)); err == nil {
+				return time.Since(t0)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for _, name := range names {
+		waitRouted(name)
+	}
+	for _, name := range names {
+		for {
+			if g, ok := mirror.CurrentGeneration(repro.RegistryShardKey(name, 0)); ok && g >= 1 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	pl := rt.Placements()
+	fmt.Printf("  placed: potential→%s  tissue→%s  epi→%s\n", pl["potential"], pl["tissue"], pl["epi"])
+
+	victim, survivor := wa, wb
+	if pl["potential"] == wb.addr {
+		victim, survivor = wb, wa
+	}
+	survivorRuns := survivor.runs.Load()
+	fmt.Printf("  killing %s (owner of 'potential') under live traffic…\n", victim.addr)
+	victim.close()
+	reover := waitRouted("potential")
+	rts := rt.Stats()
+	fmt.Printf("  failover: 'potential' back in %v at %s (%d rehashes, %d warm starts)\n",
+		reover.Round(time.Millisecond), rt.Placements()["potential"], rts.Rehashes, rts.WarmStarts)
+	fmt.Printf("  survivor oracle runs during failover: %d — the moved tenants warm-started "+
+		"from mirrored artifacts, zero retraining\n", survivor.runs.Load()-survivorRuns)
+	if st, err := survivor.fl.TenantStats("potential"); err == nil {
+		fmt.Printf("  survivor placement: source=%s generation=%d shards-warmed=%d\n",
+			st.PlacementSource, st.PlacementGeneration, st.PlacementWarmShards)
+	}
+	survivor.close()
+}
+
+// routedWorker is one phase-7 worker "process" in miniature: its own
+// fleet, artifact registry and wire server with the router's placement
+// hooks installed, plus an oracle-run counter to prove failovers are
+// warm.
+type routedWorker struct {
+	addr string
+	fl   *repro.Fleet
+	reg  *repro.Registry
+	srv  *repro.WireServer
+	runs atomic.Int64
+}
+
+func startRoutedWorker(dir string, seed uint64, oracles map[string]func([]float64) []float64) *routedWorker {
+	reg, err := repro.OpenRegistry(repro.RegistryConfig{Dir: dir})
+	if err != nil {
+		panic(err)
+	}
+	w := &routedWorker{fl: repro.NewFleet(repro.FleetConfig{}), reg: reg}
+	hooks := &repro.RouterWorkerHooks{
+		Fleet:    w.fl,
+		Registry: reg,
+		Seed:     seed,
+		Make: func(tenant string) (*repro.ShardedWrapper, error) {
+			f, ok := oracles[tenant]
+			if !ok {
+				return nil, fmt.Errorf("no oracle for tenant %q", tenant)
+			}
+			oracle := repro.OracleFunc{In: 2, Out: 1, F: func(x []float64) ([]float64, error) {
+				w.runs.Add(1)
+				return f(x), nil
+			}}
+			fac := repro.NewNNSurrogateFactory(2, 1, []int{16}, 0.1, repro.NewRand(seed), func(s *repro.NNSurrogate) {
+				s.Epochs = 60
+				s.MCPasses = 4
+			})
+			return repro.NewShardedWrapper(oracle, fac, repro.ShardedConfig{
+				Router:          repro.HashRouter{Shards: 1},
+				MinTrainSamples: 20,
+				// Trust the surrogate outright: this phase demos placement
+				// and warm failover, not UQ gating, and the potential
+				// oracle's huge output range makes MC-dropout std spiky.
+				UQThreshold: 1e9,
+			}), nil
+		},
+		Pretrain: func(tenant string, sw *repro.ShardedWrapper) error {
+			rng := repro.NewRand(seed ^ 0x7e57)
+			design := repro.NewMatrix(80, 2)
+			for i := 0; i < design.Rows; i++ {
+				design.Set(i, 0, rng.Range(-1, 1))
+				design.Set(i, 1, rng.Range(-1, 1))
+			}
+			return sw.Pretrain(design)
+		},
+	}
+	w.srv = repro.NewWireServer(repro.WireServerConfig{Fleet: w.fl, Artifacts: hooks, Install: hooks})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	w.addr = ln.Addr().String()
+	go w.srv.Serve(ln)
+	return w
+}
+
+func (w *routedWorker) close() {
+	w.srv.Close()
+	w.fl.Close()
+	w.reg.Close()
 }
 
 func max64(a, b int64) int64 {

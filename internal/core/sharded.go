@@ -570,7 +570,8 @@ func (w *ShardedWrapper) ShardSizes() []int {
 // never blocks on a refit. Safe for concurrent use.
 func (w *ShardedWrapper) Query(x []float64) (y []float64, src Source, std []float64, err error) {
 	s := w.shards[w.router.Route(x)]
-	if mean, sd, ok := w.tryLookup(s, x); ok {
+	mean, sd, surp, ok := w.tryLookup(s, x)
+	if ok {
 		return mean, FromSurrogate, sd, nil
 	}
 	t0 := time.Now()
@@ -582,16 +583,25 @@ func (w *ShardedWrapper) Query(x []float64) (y []float64, src Source, std []floa
 	}
 	w.recordSimulation(dt)
 	w.addSamples(s, [][2][]float64{{x, y}})
+	if w.cfg.DriftFactor > 0 && surp != nil && mean != nil {
+		// The rejected prediction plus the oracle truth is a free drift
+		// observation (see observeFallbackResidual for the UQ bias
+		// correction).
+		w.observeFallbackResidual(s, surp, mean, sd, y)
+	}
 	return y, FromSimulation, nil, nil
 }
 
 // tryLookup serves x from the shard's published surrogate. The load is a
 // single atomic pointer read — no lock is taken, so lookups proceed at
-// full speed while the shard refits.
-func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, ok bool) {
-	surp := s.active.Load()
+// full speed while the shard refits. On a UQ rejection (ok=false with a
+// non-nil surp) mean and sd carry the rejected prediction so the oracle
+// fallback can fold its residual into the drift tracker without a
+// second surrogate pass.
+func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, surp *Surrogate, ok bool) {
+	surp = s.active.Load()
 	if surp == nil {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	sur := *surp
 	if w.quantPreferred() {
@@ -601,10 +611,10 @@ func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, o
 			dt := time.Since(t0)
 			if maxOf(sd) <= w.cfg.UQThreshold {
 				w.recordLookup(dt)
-				return mean, sd, true
+				return mean, sd, surp, true
 			}
 			w.recordRejectedLookup(dt)
-			return nil, nil, false
+			return mean, sd, surp, false
 		}
 	}
 	t0 := time.Now()
@@ -612,10 +622,10 @@ func (w *ShardedWrapper) tryLookup(s *shard, x []float64) (mean, sd []float64, o
 	dt := time.Since(t0)
 	if maxOf(sd) <= w.cfg.UQThreshold {
 		w.recordLookup(dt)
-		return mean, sd, true
+		return mean, sd, surp, true
 	}
 	w.recordRejectedLookup(dt)
-	return nil, nil, false
+	return mean, sd, surp, false
 }
 
 // QuantStats reports how many lookups across all shards were served through
@@ -761,7 +771,9 @@ func (w *ShardedWrapper) QueryBatchInto(xs *tensor.Matrix, res []BatchResult) er
 	// loop. Results land in disjoint res rows.
 	oracleFanout(w.oracle, xs, miss, res, w.cfg.OracleWorkers, w.record)
 
-	// Feed successful fallbacks back into their shards' training sets.
+	// Feed successful fallbacks back into their shards' training sets,
+	// and (with drift tracking armed) fold their residuals against the
+	// published models into the drift EWMAs.
 	for si, idx := range byShard {
 		var samples [][2][]float64
 		for _, i := range idx {
@@ -771,6 +783,9 @@ func (w *ShardedWrapper) QueryBatchInto(xs *tensor.Matrix, res []BatchResult) er
 		}
 		if len(samples) > 0 {
 			w.addSamples(w.shards[si], samples)
+		}
+		if w.cfg.DriftFactor > 0 {
+			w.foldFallbackResiduals(w.shards[si], xs, idx, res)
 		}
 	}
 	w.scratch.Put(sc)

@@ -136,6 +136,10 @@ type tenant struct {
 	// unbound); see BindRegistry.
 	binding atomic.Pointer[registryBinding]
 
+	// placement is how the tenant landed on this process (nil until a
+	// dispatch tier records one); see SetPlacement.
+	placement atomic.Pointer[Placement]
+
 	// lats is a power-of-two ring of recent query latencies (ns),
 	// written with atomic stores so Stats can read concurrently.
 	lats   []int64
@@ -211,6 +215,47 @@ func New(cfg Config) *Fleet {
 // coalescer configuration.
 func (f *Fleet) Register(name string, backend serve.Backend) error {
 	return f.RegisterWithConfig(name, backend, f.cfg.Coalescer)
+}
+
+// Backend returns the named tenant's registered backend — the hook a
+// dispatch-tier worker uses to install pushed artifacts into the live
+// wrapper.
+func (f *Fleet) Backend(name string) (serve.Backend, error) {
+	t := f.lookup(name)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	return t.backend, nil
+}
+
+// Placement records how a tenant landed on this process: provisioned at
+// boot, placed cold by a dispatch tier, or warm-started from artifacts
+// pushed over the wire.
+type Placement struct {
+	// Source is the placement origin: "boot", "cold", "warm" — or any
+	// label the placing tier chooses.
+	Source string
+	// Generation is the newest registry generation installed at
+	// placement time (zero for cold placements).
+	Generation uint64
+	// WarmShards counts shards that warm-started from an artifact.
+	WarmShards int
+	// At is the placement instant.
+	At time.Time
+}
+
+// SetPlacement records the tenant's placement metadata, surfaced
+// through TenantStats (and from there /statsz).
+func (f *Fleet) SetPlacement(name string, p Placement) error {
+	t := f.lookup(name)
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	if p.At.IsZero() {
+		p.At = time.Now()
+	}
+	t.placement.Store(&p)
+	return nil
 }
 
 // RegisterWithConfig is Register with a per-tenant coalescer
@@ -580,6 +625,12 @@ type TenantStats struct {
 	RegistryPublishes   int64
 	RegistryRollbacks   int64
 	RegistryQuarantines int64
+	// PlacementSource / PlacementGeneration / PlacementWarmShards echo
+	// the tenant's recorded Placement — how a dispatch tier landed it on
+	// this process (empty/zero until SetPlacement).
+	PlacementSource     string
+	PlacementGeneration uint64
+	PlacementWarmShards int
 }
 
 // statuser is the optional backend face that exposes per-shard refit
@@ -631,6 +682,11 @@ func (t *tenant) snapshot() TenantStats {
 		st.RegistryPublishes = rs.Publishes
 		st.RegistryRollbacks = rs.Rollbacks
 		st.RegistryQuarantines = rs.Quarantines
+	}
+	if p := t.placement.Load(); p != nil {
+		st.PlacementSource = p.Source
+		st.PlacementGeneration = p.Generation
+		st.PlacementWarmShards = p.WarmShards
 	}
 	// QPS over the window since the previous snapshot.
 	t.statsMu.Lock()

@@ -81,7 +81,11 @@ func TestChaosSoak(t *testing.T) {
 					okCount.Add(1)
 				case errors.Is(qerr, ErrRetry), errors.Is(qerr, ErrExpired),
 					errors.Is(qerr, ErrConnLost), errors.Is(qerr, ErrNoConn),
-					errors.Is(qerr, ErrClientClosed):
+					errors.Is(qerr, ErrClientClosed),
+					// A corrupted tenant byte in a request that still
+					// frame-parses is served as unknown-tenant — typed,
+					// not a silent drop.
+					errors.Is(qerr, ErrUnknownTenant):
 					typedErr.Add(1)
 				default:
 					var re *RemoteError

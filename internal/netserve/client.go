@@ -126,6 +126,11 @@ type pending struct {
 	std  []float64
 	res  WireResult
 	err  error
+	// Artifact-call results (see artCall): the generation answered, the
+	// found/not-found bit, and the payload copied off the read buffer.
+	artGen  uint64
+	artOK   bool
+	artData []byte
 }
 
 // Client is one multiplexed wire connection: any number of goroutines may
@@ -360,15 +365,29 @@ func (cl *Client) readLoop() {
 		if rerr != nil {
 			break
 		}
-		resp, err := parseResponse(buf)
-		if err != nil {
-			rerr = err
-			break
+		var id uint64
+		var resp response
+		var ad artData
+		isArt := len(buf) >= 2 && buf[1] == frameArtData
+		if isArt {
+			var err error
+			if ad, err = parseArtData(buf); err != nil {
+				rerr = err
+				break
+			}
+			id = ad.id
+		} else {
+			var err error
+			if resp, err = parseResponse(buf); err != nil {
+				rerr = err
+				break
+			}
+			id = resp.id
 		}
 		cl.mu.Lock()
-		p := cl.pend[resp.id]
+		p := cl.pend[id]
 		if p != nil {
-			delete(cl.pend, resp.id)
+			delete(cl.pend, id)
 		}
 		cl.mu.Unlock()
 		if p == nil {
@@ -377,7 +396,11 @@ func (cl *Client) readLoop() {
 			// way the stream framing is still intact; drop it.
 			continue
 		}
-		complete(p, resp)
+		if isArt {
+			completeArt(p, ad)
+		} else {
+			complete(p, resp)
+		}
 		p.done <- struct{}{}
 	}
 	// Fail everything pending and mark the client broken for future

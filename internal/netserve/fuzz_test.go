@@ -170,3 +170,59 @@ func FuzzClientResponse(f *testing.F) {
 }
 
 func netPipe() (net.Conn, net.Conn) { return net.Pipe() }
+
+// FuzzArtifactFrames fuzzes the artifact control-plane decoders — the
+// frames a router's mirror loop and placement pushes ride on. Beyond
+// never panicking, a body that parses must have internally consistent
+// geometry (key/data exactly fill the body) and a wire-legal status:
+// an undefined status byte must kill the frame, not flow into the
+// response demux.
+func FuzzArtifactFrames(f *testing.F) {
+	af, err := appendArtFetch(nil, 7, 3, FlagArtStat, "tenant/shard-0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(af[lenPrefix:])
+	f.Add(appendArtData(nil, 7, 3, StatusOK, []byte("payload"))[lenPrefix:])
+	f.Add(appendArtData(nil, 7, 0, StatusUnknownTenant, nil)[lenPrefix:])
+	ap, err := appendArtPush(nil, 7, 3, 0, "tenant/shard-1", []byte("weights"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ap[lenPrefix:])
+	cold, err := appendArtPush(nil, 9, 0, FlagArtCold, "tenant", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cold[lenPrefix:])
+	for cut := 0; cut < len(ap)-lenPrefix; cut += 5 {
+		f.Add(ap[lenPrefix : lenPrefix+cut])
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if a, err := parseArtFetch(data); err == nil {
+			if len(a.key) == 0 || len(a.key) != len(data)-artFetchHeaderLen {
+				t.Fatalf("fetch key %d bytes from a %d-byte body", len(a.key), len(data))
+			}
+		}
+		if a, err := parseArtData(data); err == nil {
+			if a.status > StatusError {
+				t.Fatalf("undefined status %d accepted", a.status)
+			}
+			if len(a.data) != len(data)-artDataHeaderLen {
+				t.Fatalf("data %d bytes from a %d-byte body", len(a.data), len(data))
+			}
+		}
+		if a, err := parseArtPush(data); err == nil {
+			if len(a.key) == 0 || artPushHeaderLen+len(a.key)+len(a.data) != len(data) {
+				t.Fatalf("push key %d + data %d bytes from a %d-byte body",
+					len(a.key), len(a.data), len(data))
+			}
+			if a.flags&FlagArtCold != 0 && (len(a.data) != 0 || a.gen != 0) {
+				t.Fatal("cold push accepted with payload or generation")
+			}
+		}
+	})
+}

@@ -55,6 +55,9 @@ type tenantHealth struct {
 	RegPublishes  int64   `json:"registry_publishes"`
 	RegRollbacks  int64   `json:"registry_rollbacks"`
 	RegQuarantine int64   `json:"registry_quarantines"`
+	PlaceSource   string  `json:"placement_source,omitempty"`
+	PlaceGen      uint64  `json:"placement_generation,omitempty"`
+	PlaceWarm     int     `json:"placement_warm_shards,omitempty"`
 }
 
 // statsz is the JSON shape of /statsz.
@@ -114,6 +117,9 @@ func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 					RegPublishes:  st.RegistryPublishes,
 					RegRollbacks:  st.RegistryRollbacks,
 					RegQuarantine: st.RegistryQuarantines,
+					PlaceSource:   st.PlacementSource,
+					PlaceGen:      st.PlacementGeneration,
+					PlaceWarm:     st.PlacementWarmShards,
 				}
 			}
 		}

@@ -180,6 +180,11 @@ func parseResponse(body []byte) (response, error) {
 		return r, errBadType
 	}
 	r.status = body[2]
+	if r.status > StatusError {
+		// Only defined statuses are wire-legal; a stray status byte means
+		// corruption, and the stream can no longer be trusted.
+		return r, errBadGeom
+	}
 	r.src = body[3]
 	r.id = binary.BigEndian.Uint64(body[4:12])
 	r.ny = int(binary.BigEndian.Uint16(body[12:14]))

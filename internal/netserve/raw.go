@@ -1,0 +1,118 @@
+package netserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Raw-frame helpers for frame-splicing middleboxes (internal/router):
+// read a whole frame with its length prefix intact, validate and patch
+// the two words a forwarder touches (tenant is read, ids are rewritten),
+// and pass the payload through byte-identical. Nothing here decodes
+// rows — that is the point.
+
+// ErrRawFrame reports a frame a forwarder cannot route: truncated,
+// wrong version, malformed geometry.
+var ErrRawFrame = errors.New("netserve: malformed raw frame")
+
+// ReadRawFrame reads one length-prefixed frame into buf (grown as
+// needed) and returns it with the prefix still in place — ready to be
+// spliced onto another connection after id patching. Frames longer than
+// max fail with an oversize error before any payload is read.
+func ReadRawFrame(br *bufio.Reader, buf []byte, max int) ([]byte, error) {
+	hdr, err := br.Peek(lenPrefix)
+	if err != nil {
+		if len(hdr) > 0 && err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	if n == 0 {
+		return buf, errEmptyFrame
+	}
+	if n > max {
+		return buf, errOversized
+	}
+	total := lenPrefix + n
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	return buf, nil
+}
+
+// RawFrameType returns the frame-type byte of a prefixed frame (0 for
+// one too short to carry it).
+func RawFrameType(frame []byte) byte {
+	if len(frame) < lenPrefix+2 {
+		return 0
+	}
+	return frame[lenPrefix+1]
+}
+
+// RawQueryMeta validates a prefixed query frame end to end (same checks
+// as the server's own parser — a forwarder must not splice a frame the
+// worker would kill the connection over) and returns the fields a
+// router needs: the tenant bytes (aliasing frame) and the request id.
+func RawQueryMeta(frame []byte) (tenant []byte, id uint64, err error) {
+	if len(frame) < lenPrefix {
+		return nil, 0, ErrRawFrame
+	}
+	if int(binary.BigEndian.Uint32(frame[:lenPrefix])) != len(frame)-lenPrefix {
+		return nil, 0, ErrRawFrame
+	}
+	req, perr := parseRequest(frame[lenPrefix:])
+	if perr != nil {
+		return nil, 0, ErrRawFrame
+	}
+	return req.tenant, req.id, nil
+}
+
+// SetRawQueryID rewrites the request id of a validated prefixed query
+// frame in place.
+func SetRawQueryID(frame []byte, id uint64) {
+	binary.BigEndian.PutUint64(frame[lenPrefix+4:lenPrefix+12], id)
+}
+
+// RawResponseID returns the id of a prefixed result or artifact-data
+// frame; ok is false for frames too short to carry one. Both response
+// layouts keep the id at the same offset by design.
+func RawResponseID(frame []byte) (uint64, bool) {
+	if len(frame) < lenPrefix+12 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(frame[lenPrefix+4 : lenPrefix+12]), true
+}
+
+// SetRawResponseID rewrites a response frame's id in place.
+func SetRawResponseID(frame []byte, id uint64) {
+	binary.BigEndian.PutUint64(frame[lenPrefix+4:lenPrefix+12], id)
+}
+
+// RawFrameBuffered reports whether a complete frame (of body length at
+// most max) is already buffered on br — whether a forwarder can gather
+// one more frame into the current burst without blocking.
+func RawFrameBuffered(br *bufio.Reader, max int) bool {
+	return frameBuffered(br, max)
+}
+
+// AppendStatusFrame encodes a rowless result frame carrying status for
+// id — the router's explicit Retry/shed answer during placement moves
+// and worker outages, upholding the never-silently-dropped contract.
+func AppendStatusFrame(dst []byte, id uint64, status byte) []byte {
+	return appendResponse(dst, id, status, 0, nil, nil, "")
+}
+
+// AppendErrorFrame encodes a StatusError result frame carrying msg.
+func AppendErrorFrame(dst []byte, id uint64, msg string) []byte {
+	return appendResponse(dst, id, StatusError, 0, nil, nil, msg)
+}

@@ -699,3 +699,81 @@ func (rc *ResilientClient) jitter(d time.Duration) time.Duration {
 	rc.rmu.Unlock()
 	return d/2 + time.Duration(f*float64(d/2))
 }
+
+// ---------------------------------------------------------------------------
+// artifact control plane
+
+// artAttempts runs one artifact control-plane call with the same
+// retry-across-the-pool ladder as queries: transport failures condemn
+// the connection and try another, explicit sheds back off, definitive
+// answers return immediately. Artifact ops are idempotent by contract
+// (generation-addressed reads, replay-idempotent installs), so retrying
+// after an unknown-fate transport failure is safe.
+func (rc *ResilientClient) artAttempts(call func(cl *Client) error) error {
+	if rc.closed.Load() {
+		return ErrClientClosed
+	}
+	var last error = ErrNoConn
+	back := rc.cfg.RetryBackoff
+	for attempt := 0; attempt < rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.retries.Add(1)
+			select {
+			case <-rc.quit:
+				return ErrClientClosed
+			case <-time.After(rc.jitter(back)):
+			}
+			back *= 2
+			if back > rc.cfg.RetryBackoffMax {
+				back = rc.cfg.RetryBackoffMax
+			}
+		}
+		cl, sl := rc.pick(nil)
+		if cl == nil {
+			last = ErrNoConn
+			continue
+		}
+		err := call(cl)
+		if err == nil {
+			return nil
+		}
+		last = err
+		switch {
+		case isTransport(err):
+			rc.markBroken(sl, cl)
+		case errors.Is(err, ErrRetry):
+		default:
+			return err
+		}
+	}
+	return last
+}
+
+// StatArtifact is Client.StatArtifact through the retry ladder.
+func (rc *ResilientClient) StatArtifact(key string) (gen uint64, ok bool, err error) {
+	err = rc.artAttempts(func(cl *Client) error {
+		var e error
+		gen, ok, e = cl.StatArtifact(key)
+		return e
+	})
+	return gen, ok, err
+}
+
+// FetchArtifact is Client.FetchArtifact through the retry ladder. The
+// pooled connections' MaxFrame must admit artifact-sized responses
+// (DefaultMaxArtifactFrame).
+func (rc *ResilientClient) FetchArtifact(key string, gen uint64) (data []byte, actual uint64, ok bool, err error) {
+	err = rc.artAttempts(func(cl *Client) error {
+		var e error
+		data, actual, ok, e = cl.FetchArtifact(key, gen)
+		return e
+	})
+	return data, actual, ok, err
+}
+
+// PushArtifact is Client.PushArtifact through the retry ladder.
+func (rc *ResilientClient) PushArtifact(key string, gen uint64, data []byte) error {
+	return rc.artAttempts(func(cl *Client) error {
+		return cl.PushArtifact(key, gen, data)
+	})
+}

@@ -65,6 +65,20 @@ type Config struct {
 	// decoding until responses drain, so a fast writer cannot run the
 	// server out of pooled request state through a slow-reading peer.
 	MaxConnInFlight int
+	// Artifacts, when set, serves artifact-fetch frames from the store
+	// (typically a *registry.Registry) — the over-the-wire pull a router
+	// mirror or a freshly placed worker warm-starts from. Nil treats the
+	// frame type as a protocol violation.
+	Artifacts ArtifactStore
+	// Install, when set, accepts artifact-push frames: the sink installs
+	// pushed generations (or cold-places a tenant) so a router can move a
+	// placement onto this worker without retraining. Nil treats the frame
+	// type as a protocol violation.
+	Install ArtifactSink
+	// MaxArtifactFrame caps artifact frame bodies (default
+	// DefaultMaxArtifactFrame). Only consulted when Artifacts or Install
+	// is set; query frames stay bounded by MaxFrame either way.
+	MaxArtifactFrame int
 }
 
 func (c *Config) fill() {
@@ -95,6 +109,9 @@ func (c *Config) fill() {
 	if c.MaxConnInFlight <= 0 {
 		c.MaxConnInFlight = 1024
 	}
+	if c.MaxArtifactFrame <= 0 {
+		c.MaxArtifactFrame = DefaultMaxArtifactFrame
+	}
 }
 
 // Stats is a snapshot of server-wide wire counters.
@@ -124,6 +141,10 @@ type reqCtx struct {
 	flags byte
 	x     []float64
 	out   []byte // encoded response frame, length prefix included
+	// aux is extra response payload written straight after out — the
+	// zero-copy splice of an mmap'd artifact whose frame length prefix
+	// (in out) already covers it. Nil on the query path.
+	aux []byte
 }
 
 // burst is a run of contiguous same-tenant requests the reader gathered
@@ -141,6 +162,16 @@ type burst struct {
 	// more responses are imminent on sibling connections.
 	maxBatch int
 	each     func(i int, res serve.Result, err error)
+
+	// Artifact-op fields: a burst with artOp != 0 carries exactly one
+	// artifact request instead of query rows. Key and payload are copied
+	// off the read buffer — the control plane buys simplicity with
+	// allocations the query path never makes.
+	artOp    byte // 0 = query burst, else frameArtFetch / frameArtPush
+	artFlags byte
+	artGen   uint64
+	artKey   string
+	artData  []byte
 }
 
 func newBurst() *burst {
@@ -296,10 +327,19 @@ func (s *Server) leaseBurst() *burst {
 	bu.dls = bu.dls[:0]
 	bu.hasDL = false
 	bu.maxBatch = 0
+	bu.artOp = 0
+	bu.artFlags = 0
+	bu.artGen = 0
+	bu.artKey = ""
+	bu.artData = nil
 	return bu
 }
 
 func (s *Server) releaseBurst(bu *burst) {
+	// Drop artifact payload references now, not at next lease — a pooled
+	// burst must not pin megabytes of pushed artifact.
+	bu.artKey = ""
+	bu.artData = nil
 	s.buReleases.Add(1)
 	s.bpool.Put(bu)
 }
@@ -487,6 +527,12 @@ func (cn *serverConn) readLoop() {
 	}()
 	br := bufio.NewReaderSize(cn.c, s.cfg.ReadBuffer)
 	buf := make([]byte, 0, 4096)
+	readMax := s.cfg.MaxFrame
+	if (s.cfg.Artifacts != nil || s.cfg.Install != nil) && s.cfg.MaxArtifactFrame > readMax {
+		// Artifact frames dwarf query frames; the parsers still hold
+		// query bodies to MaxFrame-compatible geometry.
+		readMax = s.cfg.MaxArtifactFrame
+	}
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			if cn.readDone.Load() {
@@ -495,11 +541,28 @@ func (cn *serverConn) readLoop() {
 			cn.c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
 		var err error
-		buf, err = readFrame(br, buf, s.cfg.MaxFrame)
+		buf, err = readFrame(br, buf, readMax)
 		if err != nil {
 			if err == errOversized || err == errEmptyFrame {
 				s.protoErrs.Add(1)
 			}
+			return
+		}
+		if len(buf) >= 2 && buf[1] != frameQuery {
+			// Control-plane frame: submit the gathered query burst first,
+			// then hand the artifact op through the same worker pipeline.
+			if bu != nil {
+				cn.work <- bu
+				bu = nil
+			}
+			if !cn.readArtFrame(buf) {
+				return
+			}
+			continue
+		}
+		if len(buf) > s.cfg.MaxFrame {
+			// The raised artifact read cap never loosens the query bound.
+			s.protoErrs.Add(1)
 			return
 		}
 		req, err := parseRequest(buf)
@@ -554,6 +617,70 @@ func frameBuffered(br *bufio.Reader, max int) bool {
 	return n >= lenPrefix+blen
 }
 
+// readArtFrame decodes one artifact frame and submits it through the
+// worker pipeline as a single-request burst. False means the frame was
+// malformed or its hook is not configured — the stream dies.
+func (cn *serverConn) readArtFrame(buf []byte) bool {
+	s := cn.srv
+	bu := (*burst)(nil)
+	switch buf[1] {
+	case frameArtFetch:
+		if s.cfg.Artifacts == nil {
+			s.protoErrs.Add(1)
+			return false
+		}
+		af, err := parseArtFetch(buf)
+		if err != nil {
+			s.protoErrs.Add(1)
+			return false
+		}
+		cn.sem <- struct{}{}
+		bu = s.leaseBurst()
+		bu.artOp = frameArtFetch
+		bu.artFlags = af.flags
+		bu.artGen = af.gen
+		bu.artKey = string(af.key)
+		rc := s.lease()
+		rc.id = af.id
+		rc.flags = 0
+		rc.out = rc.out[:0]
+		rc.aux = nil
+		bu.reqs = append(bu.reqs, rc)
+	case frameArtPush:
+		if s.cfg.Install == nil {
+			s.protoErrs.Add(1)
+			return false
+		}
+		ap, err := parseArtPush(buf)
+		if err != nil {
+			s.protoErrs.Add(1)
+			return false
+		}
+		cn.sem <- struct{}{}
+		bu = s.leaseBurst()
+		bu.artOp = frameArtPush
+		bu.artFlags = ap.flags
+		bu.artGen = ap.gen
+		bu.artKey = string(ap.key)
+		if ap.flags&FlagArtCold == 0 {
+			// Copy off the read buffer; nil stays the cold-place marker.
+			bu.artData = append([]byte{}, ap.data...)
+		}
+		rc := s.lease()
+		rc.id = ap.id
+		rc.flags = 0
+		rc.out = rc.out[:0]
+		rc.aux = nil
+		bu.reqs = append(bu.reqs, rc)
+	default:
+		s.protoErrs.Add(1)
+		return false
+	}
+	s.reqs.Add(1)
+	cn.work <- bu
+	return true
+}
+
 // intern maps tenant-name bytes to a stable string, allocating only the
 // first time a name is seen on this connection.
 func (cn *serverConn) intern(b []byte) string {
@@ -581,6 +708,10 @@ func (cn *serverConn) workLoop() {
 // and a panic that escapes the fleet's own containment is caught here,
 // poisoning only this burst.
 func (cn *serverConn) serveBurst(bu *burst) {
+	if bu.artOp != 0 {
+		cn.serveArt(bu)
+		return
+	}
 	defer func() {
 		if pv := recover(); pv != nil {
 			bu.failRemaining(nil, fmt.Sprint(pv))
@@ -594,6 +725,50 @@ func (cn *serverConn) serveBurst(bu *burst) {
 		// Whole-burst rejection (unknown tenant, closed fleet, bad row
 		// geometry): every row still gets its status frame.
 		bu.failRemaining(err, "")
+	}
+}
+
+// serveArt answers a burst's single artifact op. A fetch of a committed
+// generation stages only the 24-byte header in pooled scratch and hands
+// the store's bytes (typically a live registry mmap) to the writer as
+// the aux splice — the artifact crosses from page cache to socket
+// without an intermediate copy. Hook panics poison only this op.
+func (cn *serverConn) serveArt(bu *burst) {
+	s := cn.srv
+	rc := bu.reqs[0]
+	defer func() {
+		if pv := recover(); pv != nil {
+			rc.aux = nil
+			rc.out = appendArtData(rc.out[:0], rc.id, 0, StatusError, []byte(fmt.Sprint(pv)))
+		}
+	}()
+	switch bu.artOp {
+	case frameArtFetch:
+		if bu.artFlags&FlagArtStat != 0 {
+			gen, ok := s.cfg.Artifacts.StatArtifact(bu.artKey)
+			if ok {
+				rc.out = appendArtData(rc.out[:0], rc.id, gen, StatusOK, nil)
+			} else {
+				rc.out = appendArtData(rc.out[:0], rc.id, 0, StatusUnknownTenant, nil)
+			}
+			return
+		}
+		data, gen, ok, err := s.cfg.Artifacts.FetchArtifact(bu.artKey, bu.artGen)
+		switch {
+		case err != nil:
+			rc.out = appendArtData(rc.out[:0], rc.id, 0, StatusError, []byte(err.Error()))
+		case !ok:
+			rc.out = appendArtData(rc.out[:0], rc.id, 0, StatusUnknownTenant, nil)
+		default:
+			rc.out = appendArtDataHeader(rc.out[:0], rc.id, gen, StatusOK, len(data))
+			rc.aux = data
+		}
+	case frameArtPush:
+		if err := s.cfg.Install.InstallArtifact(bu.artKey, bu.artGen, bu.artData); err != nil {
+			rc.out = appendArtData(rc.out[:0], rc.id, 0, StatusError, []byte(err.Error()))
+		} else {
+			rc.out = appendArtData(rc.out[:0], rc.id, bu.artGen, StatusOK, nil)
+		}
 	}
 }
 
@@ -623,8 +798,16 @@ func (cn *serverConn) writeLoop() {
 					// deadline): stop the reader too.
 					cn.noteWriteError(werr)
 				}
+				if werr == nil && len(rc.aux) > 0 {
+					// Artifact splice: a large aux bypasses the bufio
+					// copy and goes straight to the socket.
+					if _, werr = bw.Write(rc.aux); werr != nil {
+						cn.noteWriteError(werr)
+					}
+				}
 				s.resps.Add(1)
 			}
+			rc.aux = nil
 			s.release(rc)
 			<-cn.sem
 		}

@@ -105,6 +105,11 @@ type Registry struct {
 	counters map[string]*Stats
 	unmaps   []func()
 	closed   bool
+	// latests caches the most recent Handle served per name so the
+	// wire-serve path (FetchArtifact polled every mirror tick) does not
+	// accumulate one mapping per poll; a cached handle is reused until a
+	// newer generation commits.
+	latests map[string]*Handle
 
 	global Stats
 }
@@ -129,6 +134,7 @@ func Open(cfg Config) (*Registry, error) {
 		verify:   cfg.Verify,
 		state:    map[string]*nameState{},
 		counters: map[string]*Stats{},
+		latests:  map[string]*Handle{},
 	}
 	if r.fs == nil {
 		r.fs = chaos.OSFS{}
@@ -509,4 +515,119 @@ func (r *Registry) Generations(name string) ([]uint64, error) {
 		}
 	}
 	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// wire serving: generation-addressed fetch and follower replay
+
+// FetchArtifact serves name's artifact bytes at generation gen (0 =
+// newest) for over-the-wire transport; together with StatArtifact it
+// satisfies netserve's ArtifactStore. The returned bytes are the
+// registry's own zero-copy view (on the real filesystem a live mmap,
+// valid until Close). ok=false reports no such name/generation — a
+// normal condition for a mirror probing shard keys. The newest handle
+// is cached per name, so a polling mirror costs one mapping per
+// committed generation, not per poll.
+func (r *Registry) FetchArtifact(name string, gen uint64) (data []byte, actual uint64, ok bool, err error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, 0, false, fmt.Errorf("registry: closed")
+	}
+	st := r.loadStateLocked(name)
+	if st.cur == 0 || (gen != 0 && gen > st.cur) {
+		r.mu.Unlock()
+		return nil, 0, false, nil
+	}
+	if h := r.latests[name]; h != nil && h.Gen == st.cur && (gen == 0 || gen == st.cur) {
+		r.mu.Unlock()
+		return h.Data, h.Gen, true, nil
+	}
+	if gen == 0 || gen == st.cur {
+		r.mu.Unlock()
+		h, lerr := r.Latest(name)
+		if lerr != nil {
+			if errors.Is(lerr, ErrNotFound) {
+				return nil, 0, false, nil
+			}
+			return nil, 0, false, lerr
+		}
+		r.mu.Lock()
+		if !r.closed {
+			r.latests[name] = h
+		}
+		r.mu.Unlock()
+		return h.Data, h.Gen, true, nil
+	}
+	// A specific older generation: open and verify it directly. No
+	// caching — historical reads are rare (a follower catching up).
+	defer r.mu.Unlock()
+	path := filepath.Join(r.nameDir(name), genFile(gen))
+	bytes, unmap, rerr := r.readArtifact(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, fmt.Errorf("registry: fetch %s gen %d: %w", name, gen, rerr)
+	}
+	if verr := r.verify(bytes); verr != nil {
+		unmap()
+		return nil, 0, false, fmt.Errorf("registry: fetch %s gen %d: %w", name, gen, verr)
+	}
+	r.unmaps = append(r.unmaps, unmap)
+	r.global.Opens++
+	return bytes, gen, true, nil
+}
+
+// StatArtifact reports name's committed generation for the wire control
+// plane; it is CurrentGeneration under the ArtifactStore method set.
+func (r *Registry) StatArtifact(name string) (uint64, bool) {
+	return r.CurrentGeneration(name)
+}
+
+// ReplayPublish installs data as generation gen of name — the follower
+// half of over-the-wire replication. It runs the same verify → atomic
+// write → manifest-commit protocol as Publish but preserves the
+// leader's generation number instead of assigning one, and is
+// idempotent: a generation at or below the committed one is skipped
+// (applied=false, nil error), so a mirror can replay fetched
+// generations without tracking what it already has.
+func (r *Registry) ReplayPublish(name string, gen uint64, data []byte) (applied bool, err error) {
+	if gen == 0 {
+		return false, fmt.Errorf("registry: replay %s: generation 0 is not publishable", name)
+	}
+	if err := r.verify(data); err != nil {
+		return false, fmt.Errorf("registry: refusing to replay %s gen %d: %w", name, gen, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, fmt.Errorf("registry: closed")
+	}
+	ndir := r.nameDir(name)
+	if err := r.fs.MkdirAll(ndir, 0o755); err != nil {
+		delete(r.state, name)
+		return false, fmt.Errorf("registry: replay %s: %w", name, err)
+	}
+	st := r.loadStateLocked(name)
+	if gen <= st.cur {
+		return false, nil
+	}
+	if err := r.writeFileAtomic(ndir, filepath.Join(ndir, genFile(gen)), data); err != nil {
+		delete(r.state, name)
+		return false, fmt.Errorf("registry: replay %s gen %d: %w", name, gen, err)
+	}
+	next := st.next
+	if gen+1 > next {
+		next = gen + 1
+	}
+	if err := r.writeManifestLocked(ndir, gen, next); err != nil {
+		delete(r.state, name)
+		return false, fmt.Errorf("registry: replay %s gen %d manifest: %w", name, gen, err)
+	}
+	st.cur, st.next = gen, next
+	r.global.Publishes++
+	r.countersFor(name).Publishes++
+	r.gcLocked(ndir, gen)
+	return true, nil
 }

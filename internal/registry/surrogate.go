@@ -3,6 +3,7 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/xrand"
@@ -17,6 +18,28 @@ import (
 // registry. The unsharded Wrapper publishes as shard 0.
 func ShardKey(tenant string, shard int) string {
 	return fmt.Sprintf("%s/shard-%d", tenant, shard)
+}
+
+// ParseShardKey inverts ShardKey; ok is false for foreign keys. The
+// dispatch tier uses it to recover the tenant an over-the-wire artifact
+// push belongs to.
+func ParseShardKey(key string) (tenant string, shard int, ok bool) {
+	i := strings.LastIndex(key, "/shard-")
+	if i < 1 {
+		return "", 0, false
+	}
+	n := 0
+	digits := key[i+len("/shard-"):]
+	if digits == "" {
+		return "", 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' || n > 1<<20 {
+			return "", 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return key[:i], n, true
 }
 
 // artifactEncoder is the surrogate capability the publish path needs:

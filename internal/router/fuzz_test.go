@@ -1,0 +1,95 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/netserve"
+)
+
+// buildQueryFrame hand-assembles a prefixed query frame — the fuzz seeds
+// must not depend on the client encoder under test.
+func buildQueryFrame(tenant string, id uint64, xs []float64) []byte {
+	body := make([]byte, 0, 22+len(tenant)+8*len(xs))
+	body = append(body, 1, 1, 0, byte(len(tenant)))
+	body = binary.BigEndian.AppendUint64(body, id)
+	body = binary.BigEndian.AppendUint64(body, 0) // deadline
+	body = binary.BigEndian.AppendUint16(body, uint16(len(xs)))
+	body = append(body, tenant...)
+	for _, v := range xs {
+		body = binary.BigEndian.AppendUint64(body, math.Float64bits(v))
+	}
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	return append(frame, body...)
+}
+
+// FuzzRouteFrame fuzzes the forwarder's raw-frame path: framing,
+// validation, and the two in-place id patches. The invariants are the
+// router's splice contract — a frame RawQueryMeta accepts must survive an
+// id patch byte-identically outside the id word (still parse, same
+// tenant, same payload), response ids must round-trip the same way, and
+// no input may panic or over-read.
+func FuzzRouteFrame(f *testing.F) {
+	f.Add(buildQueryFrame("alpha", 7, []float64{0.5, -1}), uint64(99))
+	f.Add(buildQueryFrame("t", 0, nil), uint64(0))
+	// Two requests sharing an id: the forwarder must be able to patch the
+	// collision apart.
+	f.Add(buildQueryFrame("beta", 42, []float64{1}), uint64(42))
+	f.Add(buildQueryFrame("beta", 42, []float64{2}), ^uint64(0))
+	full := buildQueryFrame("gamma", 1, []float64{3, 4})
+	f.Add(full[:len(full)-5], uint64(3))                    // truncated payload
+	f.Add(append(full[:len(full):len(full)], 0), uint64(3)) // trailing byte
+	bad := append([]byte(nil), full...)
+	bad[4] = 9 // unknown version
+	f.Add(bad, uint64(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, newID uint64) {
+		frame := append([]byte(nil), data...)
+		if tenant, id, err := netserve.RawQueryMeta(frame); err == nil {
+			if len(tenant) == 0 || len(tenant) > netserve.MaxTenant {
+				t.Fatalf("accepted tenant of %d bytes", len(tenant))
+			}
+			before := append([]byte(nil), frame...)
+			netserve.SetRawQueryID(frame, newID)
+			tenant2, id2, err2 := netserve.RawQueryMeta(frame)
+			if err2 != nil {
+				t.Fatalf("id patch broke a routable frame: %v", err2)
+			}
+			if id2 != newID {
+				t.Fatalf("patched id reads back %d, want %d", id2, newID)
+			}
+			if !bytes.Equal(tenant2, tenant) {
+				t.Fatalf("id patch moved the tenant: %q → %q", tenant, tenant2)
+			}
+			// Patching back restores the frame byte-for-byte: the splice
+			// touched nothing but the id word.
+			netserve.SetRawQueryID(frame, id)
+			if !bytes.Equal(frame, before) {
+				t.Fatal("id patch altered bytes outside the id word")
+			}
+		}
+		// Response demux patch: ids at the same offset in both layouts.
+		if rid, ok := netserve.RawResponseID(frame); ok {
+			netserve.SetRawResponseID(frame, newID)
+			if got, _ := netserve.RawResponseID(frame); got != newID {
+				t.Fatalf("response id patch reads back %d, want %d", got, newID)
+			}
+			netserve.SetRawResponseID(frame, rid)
+		}
+		// Framing: whatever the bytes, ReadRawFrame must not panic,
+		// over-read, or hand back a frame inconsistent with its prefix.
+		br := bufio.NewReader(bytes.NewReader(data))
+		out, err := netserve.ReadRawFrame(br, nil, 1<<16)
+		if err == nil {
+			if len(out) < 4 || len(out) > 4+(1<<16) {
+				t.Fatalf("framed %d bytes under a %d cap", len(out), 1<<16)
+			}
+			if int(binary.BigEndian.Uint32(out[:4])) != len(out)-4 {
+				t.Fatal("frame length prefix disagrees with frame size")
+			}
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package router
+
+// raceEnabled reports whether the race detector is active; the runtime
+// deliberately drops sync.Pool puts under race, so allocation-count
+// assertions are skipped.
+const raceEnabled = true

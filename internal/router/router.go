@@ -1,0 +1,651 @@
+// Package router is the multi-process dispatch tier: a wire-protocol
+// frontend whose backends are N worker processes, each a netserve
+// Server over its own fleet. Tenants are placed on workers by
+// consistent hashing over the live worker ring, and the forwarder
+// never decodes rows — it validates the frame header, patches the
+// request-id word in the already-framed bytes, and splices the payload
+// through to the owning worker's connection, gathering contiguous
+// same-worker runs into one buffered write exactly as netserve's
+// readLoop Peek-gathers same-tenant runs. Responses demux back through
+// pooled per-connection id-remap tables, so the routed hot path keeps
+// the serving plane's zero-allocation steady state.
+//
+// Failure semantics uphold the stack's never-silently-dropped
+// contract: a worker death fails that worker's in-flight requests with
+// explicit Retry frames, removes it from the ring, and moves its
+// placements to the surviving owners — warm-started from the router's
+// artifact mirror over the wire (push of the tenant's latest registry
+// generations), so the new owner serves the tenant's learned state
+// with zero oracle retraining. While a placement moves, the router
+// itself answers Retry. A worker that comes back rejoins the ring and
+// its tenants rehash home the same way.
+package router
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netserve"
+	"repro/internal/registry"
+)
+
+// Config tunes a Router. Workers is required.
+type Config struct {
+	// Workers lists the backend worker addresses. Placement hashes over
+	// the live subset; workers that are down at start repair in the
+	// background and join the ring when they come up.
+	Workers []string
+	// Registry, when set, is the router's local artifact mirror: a
+	// follower registry the mirror loop replays worker generations into,
+	// and the source of the warm-start pushes that move placements
+	// without retraining. Nil disables mirroring; moves place cold.
+	Registry *registry.Registry
+	// Tenants are placed (and pushed to their owners) at start. Tenants
+	// not listed are routed on demand to their ring owner without a
+	// provisioning push.
+	Tenants []string
+	// Replicas is the virtual-node count per worker on the hash ring
+	// (default 64).
+	Replicas int
+	// MaxBurst caps how many contiguous same-worker frames one frontend
+	// connection splices under a single backend write lock (default 64).
+	MaxBurst int
+	// MaxFrame caps request frames (default netserve.DefaultMaxFrame).
+	MaxFrame int
+	// ReadBuffer / WriteBuffer size each connection's buffered reader
+	// and writer (default 32KiB each).
+	ReadBuffer, WriteBuffer int
+	// MaxConnInFlight bounds forwarded-but-unanswered requests per
+	// frontend connection; beyond it the router answers Retry (default
+	// 1024).
+	MaxConnInFlight int
+	// MaxWorkerInFlight bounds outstanding requests per worker; beyond
+	// it the router answers Retry (default 4096).
+	MaxWorkerInFlight int
+	// MirrorInterval is the artifact-mirror poll cadence (default
+	// 500ms). Only meaningful with Registry set.
+	MirrorInterval time.Duration
+	// StallTimeout condemns a worker connection that holds in-flight
+	// requests but delivers no response bytes for this long — the
+	// blackhole analog of the resilient client's ExpireStreak (default
+	// 10s; negative disables).
+	StallTimeout time.Duration
+	// WriteTimeout bounds each backend/frontend write and flush
+	// (default 10s). A stall past it condemns the connection.
+	WriteTimeout time.Duration
+	// DialTimeout bounds each backend dial (default 2s).
+	DialTimeout time.Duration
+	// ReconnectBackoff / ReconnectBackoffMax shape the backend redial
+	// ladder (defaults 25ms and 1s).
+	ReconnectBackoff, ReconnectBackoffMax time.Duration
+	// Control tunes the per-worker resilient control-plane client pool
+	// (artifact stat/fetch/push). Conns defaults to 1 and the client
+	// MaxFrame is raised to admit artifact frames.
+	Control netserve.ResilientConfig
+	// Dialer overrides the backend transport dial — fault-injection
+	// harnesses wrap connections here. Nil uses net.DialTimeout("tcp").
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Logf observes placement and failover events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.MaxBurst <= 0 {
+		c.MaxBurst = 64
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = netserve.DefaultMaxFrame
+	}
+	if c.ReadBuffer <= 0 {
+		c.ReadBuffer = 32 << 10
+	}
+	if c.WriteBuffer <= 0 {
+		c.WriteBuffer = 32 << 10
+	}
+	if c.MaxConnInFlight <= 0 {
+		c.MaxConnInFlight = 1024
+	}
+	if c.MaxWorkerInFlight <= 0 {
+		c.MaxWorkerInFlight = 4096
+	}
+	if c.MirrorInterval <= 0 {
+		c.MirrorInterval = 500 * time.Millisecond
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 10 * time.Second
+	}
+	if c.StallTimeout < 0 {
+		c.StallTimeout = 0
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 25 * time.Millisecond
+	}
+	if c.ReconnectBackoffMax <= 0 {
+		c.ReconnectBackoffMax = time.Second
+	}
+}
+
+// Stats is a snapshot of router-wide counters.
+type Stats struct {
+	// Conns counts frontend connections accepted; Open is the current
+	// open count.
+	Conns, Open int64
+	// Frames counts query frames forwarded to workers; Bursts counts
+	// the backend write runs they were coalesced into.
+	Frames, Bursts int64
+	// Retries counts Retry frames the router answered itself (placement
+	// moving or down, in-flight bounds, dead backend).
+	Retries int64
+	// Rehashes counts ring membership changes; Moves completed
+	// placement moves; WarmStarts moves that pushed mirrored artifacts;
+	// ColdStarts moves placed without any.
+	Rehashes, Moves, WarmStarts, ColdStarts int64
+	// Drops counts responses whose frontend connection was already gone
+	// (the caller's client failed them locally; nothing is owed).
+	Drops int64
+	// MirrorGens counts registry generations the mirror replayed.
+	MirrorGens int64
+	// WorkersLive is the current live worker count.
+	WorkersLive int64
+	// ProtoErrors counts frontend connections killed by malformed
+	// frames.
+	ProtoErrors int64
+}
+
+// Placement states.
+const (
+	placeReady int32 = iota
+	placeMoving
+	placeDown
+)
+
+// placement is one tenant's routing entry. The struct is created once
+// per tenant and never replaced, so frontend connections cache the
+// pointer; owner and state are atomics read on every frame.
+type placement struct {
+	tenant string
+	wk     atomic.Pointer[worker] // serving owner; nil until first ready
+	state  atomic.Int32
+
+	// Move bookkeeping, guarded by Router.pmu: the destination of the
+	// in-flight move and a sequence number that fences stale movers.
+	want    *worker
+	moveSeq uint64
+}
+
+// route returns the owner to forward to; ok is false when the router
+// must answer Retry itself (moving, down, owner connection dead).
+func (p *placement) route() (*backendConn, bool) {
+	if p.state.Load() != placeReady {
+		return nil, false
+	}
+	wk := p.wk.Load()
+	if wk == nil {
+		return nil, false
+	}
+	bc := wk.hot.Load()
+	if bc == nil {
+		return nil, false
+	}
+	return bc, true
+}
+
+// Router is the dispatch tier. All exported methods are safe for
+// concurrent use.
+type Router struct {
+	cfg Config
+	reg *registry.Registry
+
+	workers []*worker
+
+	// pmu guards placements, the ring and move bookkeeping.
+	pmu        sync.RWMutex
+	placements map[string]*placement
+	ring       atomic.Pointer[hashRing]
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*clientConn]struct{}
+	closed bool
+
+	quit chan struct{}
+	bg   sync.WaitGroup // mirror loop, movers, repair loops
+	wg   sync.WaitGroup // frontend connection handlers
+
+	conns64, open, frames, bursts, retries       atomic.Int64
+	rehashes, moves, warmStarts, coldStarts      atomic.Int64
+	drops, mirrorGens, protoErrs                 atomic.Int64
+	remapLeases, remapReleases, unexpectedFrames atomic.Int64
+}
+
+// New builds a router over cfg.Workers, dials each worker (down ones
+// repair in the background) and schedules the initial placement of
+// cfg.Tenants.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("router: Config.Workers is required")
+	}
+	cfg.fill()
+	rt := &Router{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		placements: map[string]*placement{},
+		lns:        map[net.Listener]struct{}{},
+		conns:      map[*clientConn]struct{}{},
+		quit:       make(chan struct{}),
+	}
+	for i, addr := range cfg.Workers {
+		wk := &worker{rt: rt, addr: addr, idx: i}
+		rt.workers = append(rt.workers, wk)
+	}
+	rt.ring.Store(&hashRing{})
+	for _, wk := range rt.workers {
+		if err := wk.connect(); err != nil {
+			rt.logf("router: worker %s down at start: %v", wk.addr, err)
+			wk.spawnRepair()
+		}
+	}
+	rt.pmu.Lock()
+	for _, name := range cfg.Tenants {
+		p := &placement{tenant: name}
+		p.state.Store(placeMoving) // provisioned by the initial move
+		rt.placements[name] = p
+	}
+	rt.rebalanceLocked()
+	rt.pmu.Unlock()
+	if rt.reg != nil {
+		rt.bg.Add(1)
+		go rt.mirrorLoop()
+	}
+	return rt, nil
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// Stats snapshots the router counters.
+func (rt *Router) Stats() Stats {
+	live := int64(0)
+	for _, wk := range rt.workers {
+		if wk.live() {
+			live++
+		}
+	}
+	return Stats{
+		Conns:       rt.conns64.Load(),
+		Open:        rt.open.Load(),
+		Frames:      rt.frames.Load(),
+		Bursts:      rt.bursts.Load(),
+		Retries:     rt.retries.Load(),
+		Rehashes:    rt.rehashes.Load(),
+		Moves:       rt.moves.Load(),
+		WarmStarts:  rt.warmStarts.Load(),
+		ColdStarts:  rt.coldStarts.Load(),
+		Drops:       rt.drops.Load(),
+		MirrorGens:  rt.mirrorGens.Load(),
+		WorkersLive: live,
+		ProtoErrors: rt.protoErrs.Load(),
+	}
+}
+
+// poolBalance reports outstanding pooled remap entries — zero once
+// every connection and worker has drained. The leak tests assert it.
+func (rt *Router) poolBalance() int64 {
+	return rt.remapLeases.Load() - rt.remapReleases.Load()
+}
+
+// Placements snapshots tenant → worker-address routing (empty address
+// while a placement is moving or down).
+func (rt *Router) Placements() map[string]string {
+	rt.pmu.RLock()
+	defer rt.pmu.RUnlock()
+	out := make(map[string]string, len(rt.placements))
+	for name, p := range rt.placements {
+		addr := ""
+		if p.state.Load() == placeReady {
+			if wk := p.wk.Load(); wk != nil {
+				addr = wk.addr
+			}
+		}
+		out[name] = addr
+	}
+	return out
+}
+
+// AddTenant places a new tenant on its ring owner, pushing mirrored
+// artifacts (or a cold placement) before traffic routes to it.
+func (rt *Router) AddTenant(name string) {
+	rt.pmu.Lock()
+	defer rt.pmu.Unlock()
+	if _, ok := rt.placements[name]; ok {
+		return
+	}
+	p := &placement{tenant: name}
+	p.state.Store(placeMoving)
+	rt.placements[name] = p
+	rt.rebalanceLocked()
+}
+
+// ErrRouterClosed is returned by Serve after Close.
+var ErrRouterClosed = errors.New("router: closed")
+
+// Serve accepts frontend connections on ln until Close. It blocks; run
+// it in a goroutine.
+func (rt *Router) Serve(ln net.Listener) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		ln.Close()
+		return ErrRouterClosed
+	}
+	rt.lns[ln] = struct{}{}
+	rt.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			rt.mu.Lock()
+			delete(rt.lns, ln)
+			closed := rt.closed
+			rt.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		cc := &clientConn{rt: rt, c: c}
+		cc.bw = bufio.NewWriterSize(c, rt.cfg.WriteBuffer)
+		rt.mu.Lock()
+		if rt.closed {
+			rt.mu.Unlock()
+			c.Close()
+			return ErrRouterClosed
+		}
+		rt.conns[cc] = struct{}{}
+		rt.conns64.Add(1)
+		rt.open.Add(1)
+		rt.wg.Add(1)
+		rt.mu.Unlock()
+		go cc.handle()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (rt *Router) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(ln)
+}
+
+// Close tears the router down: listeners close, frontend connections
+// close (their callers see connection loss, which the resilient client
+// maps to typed errors), backend connections fail their in-flight
+// remaps, and every background loop exits.
+func (rt *Router) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		rt.bg.Wait()
+		rt.wg.Wait()
+		return nil
+	}
+	rt.closed = true
+	close(rt.quit)
+	for ln := range rt.lns {
+		ln.Close()
+	}
+	conns := make([]*clientConn, 0, len(rt.conns))
+	for cc := range rt.conns {
+		conns = append(conns, cc)
+	}
+	rt.mu.Unlock()
+	for _, cc := range conns {
+		cc.shutdown()
+	}
+	for _, wk := range rt.workers {
+		wk.close()
+	}
+	rt.bg.Wait()
+	rt.wg.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// frontend connections
+
+// clientConn is one accepted frontend connection: a reader goroutine
+// that validates, patches and splices frames to backend connections,
+// and a write side (shared with every backend read loop delivering
+// responses) guarded by wmu.
+type clientConn struct {
+	rt *Router
+	c  net.Conn
+
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	werr    error  // sticky write error
+	sbuf    []byte // status-frame scratch, guarded by wmu
+	pending bool   // buffered bytes awaiting flush, guarded by wmu
+
+	closed   atomic.Bool
+	inflight atomic.Int64 // forwarded-but-unanswered frames
+}
+
+// shutdown closes the connection; in-flight responses arriving later
+// are dropped (the caller's client has already failed them locally).
+func (cc *clientConn) shutdown() {
+	if cc.closed.CompareAndSwap(false, true) {
+		cc.c.Close()
+	}
+}
+
+// handle runs the connection's read loop to completion and tears down.
+func (cc *clientConn) handle() {
+	rt := cc.rt
+	defer rt.wg.Done()
+	defer rt.open.Add(-1)
+	cc.readLoop()
+	cc.shutdown()
+	rt.mu.Lock()
+	delete(rt.conns, cc)
+	rt.mu.Unlock()
+}
+
+// readLoop is the forwarder: it reads raw frames, resolves each
+// tenant's placement through the per-connection cache, and splices
+// contiguous same-worker runs under a single backend write lock — the
+// cross-connection coalescing contract: a pipelined client burst
+// arrives at the worker as one TCP chunk, which its server read loop
+// Peek-gathers into one fleet burst.
+func (cc *clientConn) readLoop() {
+	rt := cc.rt
+	br := bufio.NewReaderSize(cc.c, rt.cfg.ReadBuffer)
+	buf := make([]byte, 0, 4096)
+	cache := make(map[string]*placement)
+
+	var run *backendConn // write-locked run target
+	runLen := 0
+	endRun := func() {
+		if run != nil {
+			run.flushLocked()
+			run.wmu.Unlock()
+			rt.bursts.Add(1)
+			run = nil
+			runLen = 0
+		}
+	}
+	defer endRun()
+
+	for {
+		if !netserve.RawFrameBuffered(br, rt.cfg.MaxFrame) {
+			// About to block: release the backend run and flush any
+			// Retry frames owed to this caller.
+			endRun()
+			cc.flush()
+		}
+		var err error
+		buf, err = netserve.ReadRawFrame(br, buf, rt.cfg.MaxFrame)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				rt.protoErrs.Add(1)
+			}
+			return
+		}
+		tenant, id, err := netserve.RawQueryMeta(buf)
+		if err != nil {
+			rt.protoErrs.Add(1)
+			return
+		}
+		rt.frames.Add(1)
+		p := cache[string(tenant)] // no-alloc lookup
+		if p == nil {
+			p = rt.getPlacement(tenant)
+			cache[p.tenant] = p
+		}
+		bc, ok := p.route()
+		if !ok || cc.inflight.Load() >= int64(rt.cfg.MaxConnInFlight) {
+			endRun()
+			cc.writeStatus(id, netserve.StatusRetry)
+			rt.retries.Add(1)
+			continue
+		}
+		if run != nil && (bc != run || runLen >= rt.cfg.MaxBurst) {
+			endRun()
+		}
+		if run == nil {
+			if bc.wk.inflight.Load() >= int64(rt.cfg.MaxWorkerInFlight) {
+				cc.writeStatus(id, netserve.StatusRetry)
+				rt.retries.Add(1)
+				continue
+			}
+			bc.wmu.Lock()
+			run = bc
+		}
+		if !bc.spliceLocked(cc, id, buf) {
+			// The backend died mid-run: answer this frame Retry; its
+			// teardown fails the rest of the run's in-flight the same
+			// way.
+			run.wmu.Unlock()
+			run = nil
+			runLen = 0
+			cc.writeStatus(id, netserve.StatusRetry)
+			rt.retries.Add(1)
+			continue
+		}
+		runLen++
+	}
+}
+
+// getPlacement resolves (or creates) the global placement for a tenant
+// seen on the wire. Unprovisioned tenants route straight to their ring
+// owner — a worker that does not know them answers UnknownTenant,
+// which passes through to the caller untouched.
+func (rt *Router) getPlacement(tenant []byte) *placement {
+	rt.pmu.RLock()
+	p := rt.placements[string(tenant)] // no-alloc lookup
+	rt.pmu.RUnlock()
+	if p != nil {
+		return p
+	}
+	rt.pmu.Lock()
+	defer rt.pmu.Unlock()
+	if p = rt.placements[string(tenant)]; p != nil {
+		return p
+	}
+	p = &placement{tenant: string(tenant)}
+	if wk := rt.ring.Load().owner(tenant); wk != nil {
+		p.wk.Store(wk)
+		p.state.Store(placeReady)
+	} else {
+		p.state.Store(placeDown)
+	}
+	rt.placements[p.tenant] = p
+	return p
+}
+
+// writeStatus answers a frame from the router itself with a rowless
+// status frame (the explicit Retry of the move/outage path). Buffered;
+// flushed when the reader is about to block, or by a response burst.
+func (cc *clientConn) writeStatus(id uint64, status byte) {
+	cc.wmu.Lock()
+	if cc.werr == nil && !cc.closed.Load() {
+		cc.sbuf = netserve.AppendStatusFrame(cc.sbuf[:0], id, status)
+		if _, err := cc.bw.Write(cc.sbuf); err != nil {
+			cc.werr = err
+		} else {
+			cc.pending = true
+		}
+	}
+	cc.wmu.Unlock()
+}
+
+// writeRaw splices a response frame to the caller. False means the
+// connection is gone and the frame was dropped.
+func (cc *clientConn) writeRaw(frame []byte) bool {
+	cc.wmu.Lock()
+	if cc.werr != nil || cc.closed.Load() {
+		cc.wmu.Unlock()
+		return false
+	}
+	// Deadline only on a buffer spill; the common append is syscall-free.
+	if cc.bw.Available() < len(frame) && cc.rt.cfg.WriteTimeout > 0 {
+		cc.c.SetWriteDeadline(time.Now().Add(cc.rt.cfg.WriteTimeout))
+	}
+	if _, err := cc.bw.Write(frame); err != nil {
+		cc.werr = err
+		cc.wmu.Unlock()
+		cc.shutdown()
+		return false
+	}
+	cc.pending = true
+	cc.wmu.Unlock()
+	return true
+}
+
+// flush pushes buffered response/status bytes to the caller.
+func (cc *clientConn) flush() {
+	cc.wmu.Lock()
+	if cc.pending && cc.werr == nil && !cc.closed.Load() {
+		if cc.rt.cfg.WriteTimeout > 0 {
+			cc.c.SetWriteDeadline(time.Now().Add(cc.rt.cfg.WriteTimeout))
+		}
+		if err := cc.bw.Flush(); err != nil {
+			cc.werr = err
+			cc.wmu.Unlock()
+			cc.shutdown()
+			return
+		}
+		cc.pending = false
+	}
+	cc.wmu.Unlock()
+}
+
+// unanswered releases one in-flight slot without a response write —
+// the caller's connection is gone.
+func (cc *clientConn) unanswered() {
+	cc.inflight.Add(-1)
+}

@@ -66,6 +66,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/netserve"
 	"repro/internal/registry"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -402,6 +403,37 @@ var (
 // OpenRegistry opens (creating if needed) a crash-safe artifact registry
 // rooted at cfg.Dir.
 func OpenRegistry(cfg RegistryConfig) (*Registry, error) { return registry.Open(cfg) }
+
+// RegistryShardKey names the artifact under which tenant's shard si is
+// published ("tenant/shard-si") — the key scheme Fleet.BindRegistry and
+// the dispatch tier's artifact mirror agree on.
+func RegistryShardKey(tenant string, si int) string { return registry.ShardKey(tenant, si) }
+
+// Multi-process dispatch tier, re-exported from internal/router: a
+// wire-compatible frontend that places tenants across N worker processes
+// by consistent hashing and splices raw frames between client and owner
+// without ever decoding a row. Worker death rehashes only the dead
+// worker's tenants, answers their in-flight requests with explicit Retry
+// frames, and warm-starts the new owners from the router's mirrored
+// artifact registry — failover without retraining.
+type (
+	// WireRouter is the dispatch-tier frontend (see NewWireRouter).
+	WireRouter = router.Router
+	// WireRouterConfig configures NewWireRouter (Workers is required).
+	WireRouterConfig = router.Config
+	// WireRouterStats snapshots the router's forwarding/placement counters.
+	WireRouterStats = router.Stats
+	// RouterWorkerHooks is the worker-process side: wire it into a
+	// WireServerConfig's Artifacts and Install hooks so the worker serves
+	// registry fetches and accepts placement pushes.
+	RouterWorkerHooks = router.WorkerHooks
+	// FleetPlacement records how a routed tenant landed on this process
+	// (cold vs warm-started, and from which registry generation).
+	FleetPlacement = fleet.Placement
+)
+
+// NewWireRouter builds the dispatch tier over cfg.Workers and dials them.
+func NewWireRouter(cfg WireRouterConfig) (*WireRouter, error) { return router.New(cfg) }
 
 // EffectiveSpeedup evaluates the paper's §III-D formula.
 func EffectiveSpeedup(tseq, ttrain, tlearn, tlookup, nlookup, ntrain float64) float64 {
